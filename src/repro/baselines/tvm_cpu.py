@@ -1,0 +1,34 @@
+"""Plain-TVM baseline flow (Table I's "TVM" column).
+
+Deploys everything on the RISC-V CPU: no pattern matching, no DORY, no
+L2 buffer reuse, TVM's (larger) graph runtime. The helpers here exist
+so benchmarks/ablations can invoke the baseline without assembling the
+configuration by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.compiler import compile_model
+from ..core.config import TVM_CPU
+from ..core.program import CompiledModel
+from ..ir import Graph
+from ..soc import DianaParams, DianaSoC
+
+
+def compile_tvm_cpu(graph: Graph, params: Optional[DianaParams] = None,
+                    check_l2: bool = True) -> CompiledModel:
+    """Compile with the plain-TVM CPU-only baseline flow.
+
+    Raises :class:`~repro.errors.OutOfMemoryError` if the image plus the
+    (reuse-free) activation arena exceed L2 — the paper's MobileNet OoM.
+    """
+    soc = DianaSoC(params=params, enable_digital=False, enable_analog=False)
+    cfg = TVM_CPU if check_l2 else TVM_CPU.with_overrides(check_l2=False)
+    return compile_model(graph, soc, cfg)
+
+
+def cpu_only_soc(params: Optional[DianaParams] = None) -> DianaSoC:
+    """A DIANA with both accelerators fused off (CPU-only view)."""
+    return DianaSoC(params=params, enable_digital=False, enable_analog=False)

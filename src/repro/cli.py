@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro.cli``)::
+
+    python -m repro.cli models
+    python -m repro.cli compile resnet --config digital --out-dir build/
+    python -m repro.cli run dscnn --config mixed --timeline
+    python -m repro.cli table1
+    python -m repro.cli table2
+    python -m repro.cli fig4
+    python -m repro.cli fig5
+
+Model arguments accept either a zoo name (``resnet``, ``dscnn``,
+``mobilenet``, ``toyadmos``) or a path to a JSON graph produced by
+:func:`repro.ir.save_graph`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import eval as evaluation
+from .core import HTVM, TVM_CPU, compile_model
+from .errors import OutOfMemoryError, ReproError
+from .eval.harness import CONFIGS
+from .frontend.modelzoo import MLPERF_TINY
+from .ir import load_graph
+from .runtime import Executor, random_inputs, run_reference
+from .soc import DianaSoC, latency_ms
+from .soc.energy import energy_by_target_uj, execution_energy_uj
+
+
+def _load_model(name: str, precision: str):
+    if name in MLPERF_TINY:
+        return MLPERF_TINY[name](precision=precision)
+    if os.path.exists(name):
+        return load_graph(name)
+    raise SystemExit(
+        f"unknown model {name!r}: not a zoo name {sorted(MLPERF_TINY)} "
+        f"and not a file")
+
+
+def _setup(config: str):
+    precision, soc_kwargs, cfg = CONFIGS[config]
+    return precision, DianaSoC(**soc_kwargs), cfg
+
+
+def cmd_models(args) -> int:
+    print("model zoo (MLPerf Tiny v1.0):")
+    for name, fn in sorted(MLPERF_TINY.items()):
+        graph = fn()
+        print(f"  {name:<12} {graph.total_macs() / 1e6:8.2f} MMACs  "
+              f"{graph.weight_bytes() / 1024:7.1f} kB weights")
+    print(f"configurations: {', '.join(CONFIGS)}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    precision, soc, cfg = _setup(args.config)
+    graph = _load_model(args.model, precision)
+    try:
+        model = compile_model(graph, soc, cfg)
+    except OutOfMemoryError as exc:
+        print(f"OUT OF MEMORY: {exc}")
+        return 2
+    print(model.summary())
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        for fname, source in model.c_sources.items():
+            with open(os.path.join(args.out_dir, fname), "w") as f:
+                f.write(source)
+        with open(os.path.join(args.out_dir, "memory_plan.txt"), "w") as f:
+            f.write(model.memory_plan.report())
+        print(f"wrote {len(model.c_sources) + 1} files to {args.out_dir}")
+    if args.dot:
+        from .ir.dot import save_dot
+        save_dot(model.graph, args.dot)
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    precision, soc, cfg = _setup(args.config)
+    graph = _load_model(args.model, precision)
+    try:
+        model = compile_model(graph, soc, cfg)
+    except OutOfMemoryError as exc:
+        print(f"OUT OF MEMORY: {exc}")
+        return 2
+    feeds = random_inputs(graph, seed=args.seed)
+    result = Executor(soc).run(model, feeds)
+
+    import numpy as np
+    exact = np.array_equal(np.asarray(result.output),
+                           np.asarray(run_reference(model.graph, feeds)))
+    print(model.summary())
+    print(f"latency : {latency_ms(result.total_cycles):.3f} ms "
+          f"(peak {latency_ms(result.peak_cycles):.3f} ms)")
+    energy = execution_energy_uj(result.perf, soc.params)
+    split = ", ".join(f"{k}: {v:.1f} uJ" for k, v in
+                      energy_by_target_uj(result.perf, soc.params).items())
+    print(f"energy  : {energy:.1f} uJ ({split})")
+    print(f"bit-exact vs reference: {exact}")
+    if args.timeline:
+        from .eval.timeline import render_timeline
+        print()
+        print(render_timeline(result.perf))
+    if args.layers:
+        from .eval.layer_report import format_layer_report, layer_report
+        print()
+        print(format_layer_report(layer_report(model, result, soc.params)))
+    return 0 if exact else 1
+
+
+def cmd_table1(args) -> int:
+    results = evaluation.run_table1()
+    print(evaluation.format_table1(results))
+    claims = evaluation.summarize_claims(results)
+    for key, value in claims.items():
+        print(f"  {key}: {value:.2f}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .eval.sota import format_table2, run_table2
+    print(format_table2(run_table2()))
+    return 0
+
+
+def cmd_fig4(args) -> int:
+    points = evaluation.fig4.sweep()
+    print(evaluation.fig4.format_fig4(points))
+    print(f"max heuristic speed-up: "
+          f"{evaluation.fig4.max_heuristic_speedup(points):.2f}x")
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    points = evaluation.fig5.characterize()
+    print(evaluation.fig5.format_fig5(points))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(
+        fn=cmd_models)
+
+    p = sub.add_parser("compile", help="compile a model for DIANA")
+    p.add_argument("model")
+    p.add_argument("--config", choices=list(CONFIGS), default="mixed")
+    p.add_argument("--out-dir", help="write generated C sources here")
+    p.add_argument("--dot", help="write a Graphviz rendering here")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("run", help="compile + simulate one inference")
+    p.add_argument("model")
+    p.add_argument("--config", choices=list(CONFIGS), default="mixed")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeline", action="store_true",
+                   help="print the Fig. 2-style execution timeline")
+    p.add_argument("--layers", action="store_true",
+                   help="print the per-layer cycle/energy report")
+    p.set_defaults(fn=cmd_run)
+
+    for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
+                     ("fig4", cmd_fig4), ("fig5", cmd_fig5)):
+        sub.add_parser(name, help=f"regenerate the paper's {name}"
+                       ).set_defaults(fn=fn)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

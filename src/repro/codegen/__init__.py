@@ -1,0 +1,8 @@
+"""C code emission: CPU kernels, DORY drivers, network glue."""
+
+from .c_writer import CWriter
+from .cpu import classify_body, emit_cpu_kernel, kernel_signature
+from .runtime_glue import emit_network
+
+__all__ = ["CWriter", "classify_body", "emit_cpu_kernel",
+           "kernel_signature", "emit_network"]

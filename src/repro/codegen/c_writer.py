@@ -1,0 +1,39 @@
+"""Tiny helper for emitting readable C code."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CWriter:
+    """Accumulates C source text with indentation management."""
+
+    def __init__(self, indent: str = "  "):
+        self._lines: List[str] = []
+        self._depth = 0
+        self._indent = indent
+
+    def line(self, text: str = ""):
+        if text:
+            self._lines.append(self._indent * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def open(self, text: str):
+        """Emit ``text {`` and increase indentation."""
+        self.line(text + " {")
+        self._depth += 1
+        return self
+
+    def close(self, suffix: str = ""):
+        self._depth -= 1
+        self.line("}" + suffix)
+        return self
+
+    def comment(self, text: str):
+        self.line(f"/* {text} */")
+        return self
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,167 @@
+"""C code generation for fused CPU kernels (TVM's native lowering path).
+
+Each fused composite becomes one self-contained C function with nested
+loops per operator — the shape TVM's C backend produces after operator
+fusion. Kernels are deduplicated by *signature* (operator sequence +
+shapes): like TVM, two layers with identical fused shapes share one
+function, which is the mechanism behind the binary-size differences in
+Table I (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ir import Call, Composite, Constant, Graph
+from .c_writer import CWriter
+
+#: classification used by the size model; ordered by precedence.
+_KERNEL_KINDS = ("conv2d", "dwconv2d", "dense", "pool", "softmax", "add",
+                 "elementwise", "copy")
+
+
+def classify_body(body: Graph) -> str:
+    """The dominant-kernel kind of a fused body (for the size model)."""
+    kinds = set()
+    for call in body.calls():
+        if call.op == "nn.conv2d":
+            groups = call.attrs["groups"]
+            depthwise = groups > 1 and groups == call.inputs[0].shape[1]
+            kinds.add("dwconv2d" if depthwise else "conv2d")
+        elif call.op == "nn.dense":
+            kinds.add("dense")
+        elif call.op in ("nn.avg_pool2d", "nn.max_pool2d",
+                         "nn.global_avg_pool2d"):
+            kinds.add("pool")
+        elif call.op == "nn.softmax":
+            kinds.add("softmax")
+        elif call.op == "add":
+            kinds.add("add")
+        elif call.op in ("reshape", "nn.batch_flatten", "nn.pad",
+                         "concatenate"):
+            kinds.add("copy")
+        else:
+            kinds.add("elementwise")
+    for kind in _KERNEL_KINDS:
+        if kind in kinds:
+            return kind
+    return "copy"
+
+
+def kernel_signature(body: Graph) -> Tuple:
+    """Dedup key: op sequence with shapes/attrs, as TVM would share code."""
+    sig = []
+    for call in body.calls():
+        attrs = tuple(sorted(
+            (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+            for k, v in call.attrs.items()
+        ))
+        in_shapes = tuple(i.ttype.shape for i in call.inputs)
+        sig.append((call.op, in_shapes, attrs))
+    return tuple(sig)
+
+
+def _c_dtype(name: str) -> str:
+    return {
+        "int8": "int8_t", "int7": "int8_t", "int16": "int16_t",
+        "int32": "int32_t", "ternary": "int8_t", "float32": "float",
+    }[name]
+
+
+def _emit_call_loops(w: CWriter, call: Call, idx: int, src: str):
+    """Representative loop nest for one fused operator.
+
+    ``src`` is the C identifier holding the previous stage's buffer.
+    Returns the identifier holding this call's result.
+    """
+    out = call.ttype
+    dst = f"t{idx}"
+    w.comment(f"{call.op} -> {out}")
+    w.line(f"static int32_t {dst}[{out.num_elements}];")
+    if call.op == "nn.conv2d":
+        _, c, _, _ = call.inputs[0].shape
+        k, _, fy, fx = call.inputs[1].shape
+        _, _, oy, ox = out.shape
+        w.line(f"extern const int8_t weights_{idx}[];")
+        w.open(f"for (int k = 0; k < {k}; ++k)")
+        w.open(f"for (int oy = 0; oy < {oy}; ++oy)")
+        w.open(f"for (int ox = 0; ox < {ox}; ++ox)")
+        w.line("int32_t acc = 0;")
+        w.open(f"for (int c = 0; c < {c // call.attrs['groups']}; ++c)")
+        w.open(f"for (int fy = 0; fy < {fy}; ++fy)")
+        w.open(f"for (int fx = 0; fx < {fx}; ++fx)")
+        w.line(f"acc += (int32_t){src}[IDX_IN(c, oy, ox, fy, fx)]"
+               f" * (int32_t)weights_{idx}[IDX_W(k, c, fy, fx)];")
+        w.close().close().close()
+        w.line(f"{dst}[IDX_OUT(k, oy, ox)] = acc;")
+        w.close().close().close()
+        return dst
+    if call.op == "nn.dense":
+        k, c = call.inputs[1].shape
+        w.line(f"extern const int8_t weights_{idx}[];")
+        w.open(f"for (int k = 0; k < {k}; ++k)")
+        w.line("int32_t acc = 0;")
+        w.open(f"for (int c = 0; c < {c}; ++c)")
+        w.line(f"acc += (int32_t){src}[c]"
+               f" * (int32_t)weights_{idx}[k * {c} + c];")
+        w.close()
+        w.line(f"{dst}[k] = acc;")
+        w.close()
+        return dst
+    n = out.num_elements
+    if call.op == "nn.bias_add":
+        w.line(f"extern const int32_t bias_{idx}[];")
+        channels = call.inputs[1].shape[0]
+        w.open(f"for (int i = 0; i < {n}; ++i)")
+        w.line(f"{dst}[i] = (int32_t){src}[i]"
+               f" + bias_{idx}[(i / {n // channels}) % {channels}];")
+        w.close()
+        return dst
+    w.open(f"for (int i = 0; i < {n}; ++i)")
+    if call.op == "right_shift":
+        shift = 0
+        if isinstance(call.inputs[1], Constant):
+            shift = int(call.inputs[1].value.data.reshape(-1)[0])
+        w.line(f"{dst}[i] = SRA_ROUND({src}[i], {shift});")
+    elif call.op == "clip":
+        w.line(f"{dst}[i] = CLIP({src}[i], "
+               f"{call.attrs['a_min']}, {call.attrs['a_max']});")
+    elif call.op == "cast":
+        w.line(f"{dst}[i] = ({_c_dtype(call.attrs['dtype'])}){src}[i];")
+    elif call.op == "add":
+        w.line(f"{dst}[i] = (int32_t){src}[i] + (int32_t)operand_b[i];")
+    elif call.op == "nn.softmax":
+        w.line(f"{dst}[i] = (int32_t)softmax_f32({src}, {n}, i);")
+    else:
+        # pooling / reshape / pad: representative elementwise copy; the
+        # real loop nest is irrelevant for size modelling
+        w.line(f"{dst}[i] = {src}[i < {n} ? i : 0];")
+    w.close()
+    return dst
+
+
+def emit_cpu_kernel(name: str, composite: Composite) -> str:
+    """One fused CPU kernel as a C function."""
+    body = composite.body
+    w = CWriter()
+    params = []
+    for i, var in enumerate(body.inputs):
+        params.append(f"const {_c_dtype(var.dtype.name)}* restrict in_{i}")
+    params.append(f"{_c_dtype(body.output.dtype.name)}* restrict out")
+    w.comment(f"fused kernel: {body.name}")
+    w.open(f"void {name}({', '.join(params)})")
+    n_const = sum(isinstance(n, Constant) for n in body.topo_order())
+    w.comment(f"{n_const} constant tensors linked from the weight section")
+    w.line("const int8_t* operand_b = (const int8_t*)in_0;")
+    if len(body.inputs) > 1:
+        w.line("operand_b = (const int8_t*)in_1;")
+    src = "in_0"
+    last = src
+    for i, call in enumerate(body.calls()):
+        last = _emit_call_loops(w, call, i, last)
+    n_out = body.output.ttype.num_elements
+    w.open(f"for (int i = 0; i < {n_out}; ++i)")
+    w.line(f"out[i] = ({_c_dtype(body.output.dtype.name)}){last}[i];")
+    w.close()
+    w.close()
+    return w.source()

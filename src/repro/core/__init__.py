@@ -1,0 +1,15 @@
+"""Compiler core: driver, configurations, compiled-program types."""
+
+from .artifact import compute_size
+from .compiler import compile_model
+from .config import CompilerConfig, HTVM, HTVM_NAIVE_TILING, TVM_CPU
+from .program import (
+    AccelStep, BufferSpec, CompiledModel, CpuKernelStep, SizeBreakdown, Step,
+)
+
+__all__ = [
+    "compute_size", "compile_model",
+    "CompilerConfig", "HTVM", "HTVM_NAIVE_TILING", "TVM_CPU",
+    "AccelStep", "BufferSpec", "CompiledModel", "CpuKernelStep",
+    "SizeBreakdown", "Step",
+]

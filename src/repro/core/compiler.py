@@ -1,0 +1,161 @@
+"""The HTVM compilation driver (paper Fig. 1).
+
+``compile_model`` runs the full flow:
+
+1. TVM-style front-end optimizations (canonicalize, constant folding,
+   dead-code elimination),
+2. accelerator-aware pattern matching + BYOC partitioning,
+3. dispatching with per-accelerator rule checks,
+4. native CPU fusion for everything unmatched,
+5. per-layer DORY tiling for the offloaded composites,
+6. L2 activation memory planning,
+7. C code emission and binary-size accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..codegen.cpu import emit_cpu_kernel, kernel_signature
+from ..codegen.runtime_glue import emit_network
+from ..dispatch import assign_targets, layer_spec_of
+from ..dory.codegen import emit_accel_layer
+from ..dory.heuristics import (
+    analog_heuristics, digital_heuristics, digital_pe_only_heuristics,
+    no_heuristics,
+)
+from ..dory.memory_plan import lifetimes_from_steps, plan_memory
+from ..dory.tiler import DoryTiler
+from ..errors import CodegenError, OutOfMemoryError
+from ..ir import Composite, Graph, Var
+from ..soc.diana import DianaSoC
+from ..transforms import (
+    PassManager, Pass, canonicalize, eliminate_dead_code, fold_constants,
+    fuse_cpu_ops,
+)
+from ..patterns import default_specs, partition
+from .artifact import compute_size
+from .config import CompilerConfig, HTVM
+from .program import AccelStep, BufferSpec, CompiledModel, CpuKernelStep
+
+
+def _heuristic_set(kind: str, target: str):
+    if target == "soc.analog":
+        return analog_heuristics() if kind != "none" else no_heuristics()
+    if kind == "full":
+        return digital_heuristics()
+    if kind == "pe-only":
+        return digital_pe_only_heuristics()
+    if kind == "none":
+        return no_heuristics()
+    raise CodegenError(f"unknown heuristic set {kind!r}")
+
+
+def _frontend(graph: Graph, config: CompilerConfig) -> Graph:
+    pm = PassManager([
+        Pass("canonicalize", canonicalize),
+        Pass("fold_constants", fold_constants),
+        Pass("dead_code", eliminate_dead_code),
+    ])
+    return pm.run(graph)
+
+
+def compile_model(graph: Graph, soc: DianaSoC,
+                  config: CompilerConfig = HTVM) -> CompiledModel:
+    """Compile ``graph`` for ``soc`` under ``config``.
+
+    Returns a :class:`~repro.core.program.CompiledModel`; raises
+    :class:`~repro.errors.OutOfMemoryError` if the deployment cannot
+    fit L2 (with ``config.check_l2``).
+    """
+    graph = _frontend(graph, config)
+
+    decisions = []
+    if config.offload and soc.accelerators:
+        graph = partition(graph, default_specs())
+        graph, decisions = assign_targets(graph, soc)
+    graph = fuse_cpu_ops(graph)
+
+    # ---- steps over named buffers -----------------------------------------
+    buffers: Dict[str, BufferSpec] = {}
+    name_of: Dict[int, str] = {}
+    for var in graph.inputs:
+        buffers[var.name] = BufferSpec(var.name, var.ttype)
+        name_of[var.node_id] = var.name
+
+    steps: List = []
+    kernel_sources: Dict[str, str] = {}
+    kernel_names: Dict[int, str] = {}
+    cpu_fn_by_sig: Dict[tuple, str] = {}
+
+    composites = [n for n in graph.topo_order() if isinstance(n, Composite)]
+    for i, comp in enumerate(composites):
+        out_name = f"buf{i}_{comp.pattern_name.split('.')[-1]}"
+        buffers[out_name] = BufferSpec(out_name, comp.ttype)
+        name_of[comp.node_id] = out_name
+        in_names = [name_of[inp.node_id] for inp in comp.inputs]
+
+        if comp.target == "cpu":
+            sig = kernel_signature(comp.body)
+            if sig in cpu_fn_by_sig:
+                fn_name = cpu_fn_by_sig[sig]
+            else:
+                fn_name = f"fused_kernel_{len(cpu_fn_by_sig)}"
+                cpu_fn_by_sig[sig] = fn_name
+                kernel_sources[f"{fn_name}.c"] = emit_cpu_kernel(fn_name, comp)
+            step = CpuKernelStep(
+                name=f"step{i}_{fn_name}", input_names=in_names,
+                output_name=out_name, body=comp.body, signature=fn_name,
+            )
+        else:
+            spec = layer_spec_of(comp, i)
+            if spec is None:
+                raise CodegenError(
+                    f"composite {comp.pattern_name} dispatched to "
+                    f"{comp.target} but has no layer spec")
+            tiler = DoryTiler(
+                comp.target, soc.params,
+                _heuristic_set(config.heuristics, comp.target),
+                alpha=config.alpha, l1_budget=config.l1_budget,
+            )
+            sol = tiler.solve(spec)
+            fn_name = f"dory_layer_{i}"
+            kernel_sources[f"{fn_name}.c"] = emit_accel_layer(
+                fn_name, sol, soc.params)
+            step = AccelStep(
+                name=f"step{i}_{fn_name}", input_names=in_names,
+                output_name=out_name, accel_target=comp.target,
+                spec=spec, tiling=sol,
+            )
+        kernel_names[len(steps)] = fn_name
+        steps.append(step)
+
+    if not steps:
+        raise CodegenError("graph compiled to zero kernels")
+    output_name = name_of[graph.output.node_id]
+
+    # ---- L2 planning --------------------------------------------------------
+    step_io = [(s.input_names, s.output_name) for s in steps]
+    sizes = {name: buf.size_bytes for name, buf in buffers.items()}
+    lifetimes = lifetimes_from_steps(
+        step_io, sizes, [v.name for v in graph.inputs], output_name)
+    plan = plan_memory(lifetimes, reuse=config.buffer_reuse)
+
+    size = compute_size(steps, soc.params, runtime=config.runtime)
+    if config.check_l2 and size.total + plan.arena_bytes > soc.params.l2_bytes:
+        raise OutOfMemoryError(
+            f"{graph.name} [{config.name}]: image {size.total} B + "
+            f"activation arena {plan.arena_bytes} B exceeds L2 "
+            f"({soc.params.l2_bytes} B)"
+        )
+
+    kernel_sources["network.c"] = emit_network(
+        graph.name, steps, kernel_names, plan,
+        [v.name for v in graph.inputs], output_name)
+
+    return CompiledModel(
+        name=graph.name, config_name=config.name, steps=steps,
+        buffers=buffers, input_names=[v.name for v in graph.inputs],
+        output_name=output_name, memory_plan=plan, size=size,
+        c_sources=kernel_sources, dispatch_decisions=decisions, graph=graph,
+    )

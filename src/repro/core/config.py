@@ -1,0 +1,50 @@
+"""Compiler configurations for the deployment scenarios of Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Knobs of one compilation flow.
+
+    Attributes:
+        name: configuration label used in reports.
+        offload: run the pattern matcher + dispatcher (HTVM) or keep
+            everything on the CPU (plain TVM baseline).
+        buffer_reuse: lifetime-based L2 planning (HTVM) vs. naive
+            per-tensor allocation (plain TVM baseline — this is what
+            makes MobileNet go OoM in Table I).
+        heuristics: tiling heuristic set — ``"full"`` (Eqs. 3-5),
+            ``"pe-only"`` (Eqs. 3-4) or ``"none"`` (baseline tiler).
+        alpha: memory-utilization weight of the tiling objective (Eq. 1).
+        l1_budget: Eq. 2 budget override in bytes (None = platform L1).
+        runtime: ``"htvm"`` or ``"tvm"`` runtime footprint.
+        check_l2: raise OutOfMemoryError when image + arena exceed L2.
+    """
+
+    name: str = "htvm"
+    offload: bool = True
+    buffer_reuse: bool = True
+    heuristics: str = "full"
+    alpha: float = 1.0
+    l1_budget: Optional[int] = None
+    runtime: str = "htvm"
+    check_l2: bool = True
+
+    def with_overrides(self, **kwargs) -> "CompilerConfig":
+        return replace(self, **kwargs)
+
+
+#: Plain TVM deployment: CPU-only kernels, no planning (Table I "TVM").
+TVM_CPU = CompilerConfig(
+    name="tvm-cpu", offload=False, buffer_reuse=False, runtime="tvm",
+)
+
+#: The full HTVM flow (Table I "HTVM" columns).
+HTVM = CompilerConfig(name="htvm")
+
+#: HTVM with the hardware-agnostic baseline tiler (Fig. 4 round markers).
+HTVM_NAIVE_TILING = CompilerConfig(name="htvm-naive-tiling", heuristics="none")

@@ -1,0 +1,11 @@
+"""Accelerator-aware dispatching (paper Sec. III-A)."""
+
+from .rules import (
+    DispatchDecision, dispatchable_layers, eligible_targets, layer_spec_of,
+)
+from .selector import assign_targets, dispatch_summary
+
+__all__ = [
+    "DispatchDecision", "dispatchable_layers", "eligible_targets",
+    "layer_spec_of", "assign_targets", "dispatch_summary",
+]

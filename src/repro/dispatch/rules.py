@@ -1,0 +1,66 @@
+"""Accelerator-aware dispatch rules (paper Sec. III-A).
+
+The pattern matcher finds *candidate* coarse-grained operators; the
+rules here "describe the constraints of the accelerator in more detail
+and make the final decision whether a pattern is sent to an accelerator
+or not, checking if all the parameters (e.g., stride, kernel size, data
+layout, parameter ranges, and bit-width, etc.) are supported".
+
+Each accelerator model implements ``supports(LayerSpec)``; this module
+evaluates those checks over a partitioned graph and records the
+decisions for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dory.layer_spec import LayerSpec, spec_from_composite
+from ..errors import UnsupportedError
+from ..ir import Composite, Graph
+
+
+@dataclass
+class DispatchDecision:
+    """Why one composite ended up on its target."""
+
+    layer_name: str
+    pattern: str
+    target: str
+    candidates: List[str] = field(default_factory=list)
+    rejections: Dict[str, str] = field(default_factory=dict)
+
+
+def layer_spec_of(composite: Composite, index: int) -> Optional[LayerSpec]:
+    """Extract a LayerSpec, or None for composites DORY cannot describe."""
+    try:
+        return spec_from_composite(composite, f"layer_{index}_{composite.pattern_name}")
+    except UnsupportedError:
+        return None
+
+
+def eligible_targets(spec: LayerSpec, soc) -> Dict[str, str]:
+    """Evaluate every accelerator's rules against one layer.
+
+    Returns a map accelerator-name -> "" (accepted) or rejection reason.
+    """
+    results: Dict[str, str] = {}
+    for name, accel in soc.accelerators.items():
+        ok, reason = accel.supports(spec)
+        results[name] = "" if ok else reason
+    return results
+
+
+def dispatchable_layers(graph: Graph, soc) -> List[tuple]:
+    """(composite, spec, eligibility) for every pattern-matched layer."""
+    out = []
+    for i, comp in enumerate(graph.composites()):
+        if comp.pattern_name.startswith("cpu."):
+            continue
+        spec = layer_spec_of(comp, i)
+        if spec is None:
+            out.append((comp, None, {}))
+            continue
+        out.append((comp, spec, eligible_targets(spec, soc)))
+    return out

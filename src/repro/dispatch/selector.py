@@ -1,0 +1,92 @@
+"""Target selection across multiple accelerators.
+
+"If a pattern satisfies all rules of one of the accelerators, the
+operations will be offloaded to it ... When multiple accelerators on
+the platform can execute the pattern, the flow selects the one best
+optimized for that given operation. This choice is based on factors
+like bit widths, layer geometries, or other user-defined parameters."
+(paper Sec. III-A)
+
+On DIANA the bit-width of the weights decides: 8-bit goes to the
+digital core, ternary to the analog core (Sec. III-C). The *mixed*
+deployments of Table I arise from mixed-precision models (first/last
+accelerator-eligible layers and depthwise layers in 8-bit, the rest
+ternary), so the same weight-dtype rule produces the paper's mixed
+mapping — the selector itself stays model-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..ir import Composite, Graph, Node
+from .rules import DispatchDecision, dispatchable_layers
+
+
+def _prefer_by_bit_width(spec, accepted: List[str]) -> str:
+    """DIANA's selection rule: weight precision picks the core."""
+    if spec.kind != "add":
+        if spec.weight_dtype == "ternary" and "soc.analog" in accepted:
+            return "soc.analog"
+        if spec.weight_dtype == "int8" and "soc.digital" in accepted:
+            return "soc.digital"
+    # adds: co-locate with whichever core is present, digital first
+    for name in ("soc.digital", "soc.analog"):
+        if name in accepted:
+            return name
+    return accepted[0]
+
+
+def assign_targets(
+    graph: Graph,
+    soc,
+    prefer: Optional[Callable] = None,
+) -> tuple:
+    """Assign each pattern-matched composite to an accelerator or the CPU.
+
+    Args:
+        graph: a partitioned graph (composites present).
+        soc: the platform model (capability rules).
+        prefer: optional override of the multi-accelerator choice;
+            signature ``prefer(spec, accepted_names) -> name``.
+
+    Returns:
+        (new_graph, decisions): the graph with composite targets set and
+        the list of :class:`DispatchDecision` records.
+    """
+    prefer = prefer or _prefer_by_bit_width
+    decisions: List[DispatchDecision] = []
+    target_of: Dict[int, str] = {}
+
+    for comp, spec, eligibility in dispatchable_layers(graph, soc):
+        accepted = [n for n, reason in eligibility.items() if reason == ""]
+        rejections = {n: r for n, r in eligibility.items() if r}
+        if spec is None or not accepted:
+            target = "cpu"
+        else:
+            target = prefer(spec, accepted)
+        target_of[comp.node_id] = target
+        decisions.append(DispatchDecision(
+            layer_name=spec.name if spec else comp.pattern_name,
+            pattern=comp.pattern_name,
+            target=target,
+            candidates=accepted,
+            rejections=rejections,
+        ))
+
+    def rewriter(node: Node, new_inputs):
+        if isinstance(node, Composite) and node.node_id in target_of:
+            return Composite(node.pattern_name, node.body, new_inputs,
+                             target=target_of[node.node_id])
+        return None
+
+    return graph.rewrite(rewriter), decisions
+
+
+def dispatch_summary(decisions: List[DispatchDecision]) -> str:
+    """A table of layer -> target with rejection reasons."""
+    lines = [f"{'layer':<36} {'pattern':<16} {'target':<12} rejections"]
+    for d in decisions:
+        rej = "; ".join(f"{k}: {v}" for k, v in d.rejections.items())
+        lines.append(f"{d.layer_name:<36} {d.pattern:<16} {d.target:<12} {rej}")
+    return "\n".join(lines)

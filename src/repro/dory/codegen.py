@@ -1,0 +1,71 @@
+"""DORY-style C code generation for accelerator layers.
+
+For every offloaded layer, DORY "generates accelerator-specific and
+memory-specific instructions ... and emits an explicit memory
+management schedule to move the data between different memory levels"
+(paper Sec. III-B). The emitted driver contains the tile loop, the
+uDMA transfers L2<->L1, the weight-memory fills, and the coarse-grained
+accelerator trigger — the C mirror of what the runtime simulator
+executes step-for-step.
+"""
+
+from __future__ import annotations
+
+from ..codegen.c_writer import CWriter
+from ..soc.params import DianaParams
+from .layer_spec import LayerSpec
+from .tiling_types import TilingSolution
+
+
+def _accel_call(target: str) -> str:
+    known = {
+        "soc.digital": "diana_digital_run",
+        "soc.analog": "diana_analog_run",
+    }
+    return known.get(target, target.replace(".", "_") + "_run")
+
+
+def emit_accel_layer(name: str, sol: TilingSolution,
+                     params: DianaParams) -> str:
+    """The C driver function for one tiled accelerator layer."""
+    spec: LayerSpec = sol.spec
+    cfg = sol.cfg
+    w = CWriter()
+    w.comment(f"DORY layer driver: {spec.name} on {sol.target}")
+    w.comment(f"kind={spec.kind} C={spec.in_channels} K={spec.out_channels} "
+              f"in={spec.iy}x{spec.ix} out={spec.oy}x{spec.ox} "
+              f"f={spec.fy}x{spec.fx} s={spec.strides} p={spec.padding}")
+    w.comment(f"tile: C_t={cfg.c_t} K_t={cfg.k_t} oy_t={cfg.oy_t} "
+              f"ox_t={cfg.ox_t} -> {sol.num_tiles} tiles, "
+              f"L1 {sol.l1_total_bytes} B of {params.l1_bytes} B")
+    second_operand = ", const int8_t* restrict l2_in2" if spec.kind == "add" else ""
+    w.open(f"void {name}(const int8_t* restrict l2_in{second_operand}, "
+           f"int8_t* restrict l2_out, const int8_t* restrict l2_w, "
+           f"const int32_t* restrict l2_bias)")
+    w.line(f"int8_t* l1_in  = diana_l1_alloc({sol.l1_in_bytes});")
+    w.line(f"int8_t* l1_out = diana_l1_alloc({sol.l1_out_bytes});")
+    if sol.l1_weight_bytes and sol.target == "soc.digital":
+        w.line(f"/* weight tile resides in the {params.dig_weight_bytes} B "
+               f"digital weight memory */")
+    if sol.target == "soc.analog":
+        w.line("diana_analog_load_macro(l2_w);  "
+               "/* program ternary cells, all column blocks */")
+
+    iy_t, ix_t = spec.input_tile_hw(cfg.oy_t, cfg.ox_t)
+    w.open(f"for (int k0 = 0; k0 < {spec.out_channels}; k0 += {cfg.k_t})")
+    if sol.target == "soc.digital" and spec.kind != "add":
+        w.line("diana_dig_load_weights(l2_w, k0);  /* uDMA -> weight mem */")
+    w.open(f"for (int oy0 = 0; oy0 < {spec.oy}; oy0 += {cfg.oy_t})")
+    w.open(f"for (int ox0 = 0; ox0 < {spec.ox}; ox0 += {cfg.ox_t})")
+    w.comment(f"input halo tile <= {cfg.c_t}x{iy_t}x{ix_t}")
+    w.line("dma_2d_in(l1_in, l2_in, k0, oy0, ox0);")
+    if spec.kind == "add":
+        w.line("dma_2d_in(l1_in + /*second operand*/ "
+               f"{sol.l1_in_bytes // 2}, l2_in2, k0, oy0, ox0);")
+    w.line(f"{_accel_call(sol.target)}(l1_in, l1_out, "
+           f"/*shift=*/{spec.shift}, /*relu=*/{int(spec.relu)});")
+    w.line("dma_2d_out(l2_out, l1_out, k0, oy0, ox0);")
+    w.close().close().close()
+    w.line("diana_l1_free_all();")
+    w.close()
+    return w.source()

@@ -1,0 +1,240 @@
+"""DORY's tiling solver (paper Sec. III-B, Eqs. 1-2).
+
+The solver picks tile sizes that maximize
+
+    alpha * (L1_weight + L1_in + L1_out)  +  sum_i beta_i * H_i     (Eq. 1)
+
+subject to
+
+    L1_weight + L1_in + L1_out  <=  L1 budget                      (Eq. 2)
+
+plus the digital accelerator's private weight-memory capacity. The
+``H_i`` come from :mod:`repro.dory.heuristics`; with an empty heuristic
+list the solver degrades to the hardware-agnostic "only tile size"
+baseline of Fig. 4.
+
+DORY formulates this as constraint programming; layer dimensions are
+small enough that an exhaustive search over a pruned candidate grid is
+exact and fast in Python.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..errors import TilingError
+from ..soc.params import DianaParams
+from .heuristics import Heuristic
+from .layer_spec import LayerSpec
+from .tiling_types import TileConfig, TilingSolution
+
+
+def _candidates(limit: int, include_all_up_to: int = 0) -> List[int]:
+    """Candidate tile sizes for a dimension of size ``limit``.
+
+    Divisors (perfectly even tilings), multiples of 8 (PE-friendly
+    sizes) and the full size. ``include_all_up_to`` additionally adds
+    every value up to ``min(limit, include_all_up_to)`` so the baseline
+    objective can find its (possibly hardware-hostile) memory optimum.
+    """
+    cands = {limit}
+    for d in range(1, int(math.sqrt(limit)) + 1):
+        if limit % d == 0:
+            cands.add(d)
+            cands.add(limit // d)
+    cands.update(range(8, limit + 1, 8))
+    cands.update(range(1, min(limit, include_all_up_to) + 1))
+    return sorted(cands)
+
+
+def _l1_bytes(spec: LayerSpec, cfg: TileConfig, target: str,
+              payload_only: bool = False) -> tuple:
+    """(in, out, weight) L1 bytes for the nominal tile (Eq. 2 LHS).
+
+    With ``payload_only`` the int32 partial-sum inflation of a C-tiled
+    convolution is ignored: the Eq. 1 *objective* rewards memory spent
+    on useful payload, while Eq. 2 *feasibility* must account for the
+    physical 4-byte accumulator tile.
+    """
+    iy_t, ix_t = spec.input_tile_hw(cfg.oy_t, cfg.ox_t)
+    iy_t, ix_t = min(iy_t, spec.iy), min(ix_t, spec.ix)
+    if spec.kind == "dense":
+        in_b = cfg.c_t
+        out_b = cfg.k_t
+        w_b = cfg.k_t * cfg.c_t
+    elif spec.kind == "add":
+        in_b = 2 * cfg.c_t * cfg.oy_t * cfg.ox_t
+        out_b = cfg.c_t * cfg.oy_t * cfg.ox_t
+        w_b = 0
+    elif spec.kind == "dwconv2d":
+        in_b = cfg.c_t * iy_t * ix_t
+        out_b = cfg.c_t * cfg.oy_t * cfg.ox_t
+        w_b = cfg.c_t * spec.fy * spec.fx
+    else:  # conv2d
+        in_b = cfg.c_t * iy_t * ix_t
+        # a C-tiled conv accumulates int32 partial sums in L1
+        out_elem = 1 if payload_only else (
+            4 if cfg.c_t < spec.in_channels else 1)
+        out_b = cfg.k_t * cfg.oy_t * cfg.ox_t * out_elem
+        w_b = cfg.k_t * cfg.c_t * spec.fy * spec.fx
+    if target == "soc.analog":
+        # ternary weights live inside the IMC macro, not in L1
+        w_b = 0
+    return in_b, out_b, w_b
+
+
+def _full_config(spec: LayerSpec) -> TileConfig:
+    return TileConfig(c_t=spec.in_channels, k_t=spec.out_channels,
+                      oy_t=spec.oy, ox_t=spec.ox)
+
+
+class DoryTiler:
+    """Tiling solver bound to one accelerator target.
+
+    Args:
+        target: ``"soc.digital"`` or ``"soc.analog"``.
+        params: platform constants.
+        heuristics: the ``beta_i * H_i`` terms; empty list = baseline.
+        alpha: weight of the memory-utilization term of Eq. 1.
+        l1_budget: Eq. 2 right-hand side; defaults to the platform's
+            256 kB shared L1 (Fig. 4 sweeps this downward).
+    """
+
+    def __init__(self, target: str, params: DianaParams,
+                 heuristics: Sequence[Heuristic],
+                 alpha: float = 1.0,
+                 l1_budget: Optional[int] = None):
+        self.target = target
+        self.params = params
+        self.heuristics = list(heuristics)
+        self.alpha = alpha
+        self.l1_budget = params.l1_bytes if l1_budget is None else int(l1_budget)
+
+    # -- constraints -------------------------------------------------------
+
+    def _weight_budget_ok(self, spec: LayerSpec, cfg: TileConfig) -> bool:
+        if self.target != "soc.digital" or spec.kind == "add":
+            return True
+        if spec.kind == "dense":
+            w = cfg.k_t * cfg.c_t
+        elif spec.kind == "dwconv2d":
+            w = cfg.c_t * spec.fy * spec.fx
+        else:
+            w = cfg.k_t * cfg.c_t * spec.fy * spec.fx
+        return w <= self.params.dig_weight_bytes
+
+    def _feasible(self, spec: LayerSpec, cfg: TileConfig) -> bool:
+        in_b, out_b, w_b = _l1_bytes(spec, cfg, self.target)
+        if in_b + out_b + w_b > self.l1_budget:
+            return False
+        return self._weight_budget_ok(spec, cfg)
+
+    # -- objective -----------------------------------------------------------
+
+    def _objective(self, spec: LayerSpec, cfg: TileConfig) -> float:
+        in_b, out_b, w_b = _l1_bytes(spec, cfg, self.target,
+                                     payload_only=True)
+        score = self.alpha * (in_b + out_b + w_b) / self.l1_budget
+        for h in self.heuristics:
+            score += h(spec, cfg)
+        return score
+
+    # -- search -------------------------------------------------------------
+
+    def solve(self, spec: LayerSpec) -> TilingSolution:
+        """Find the best feasible tiling for ``spec``.
+
+        Raises:
+            TilingError: if even the minimal tile violates the budget.
+        """
+        full = _full_config(spec)
+        if self._feasible(spec, full):
+            in_b, out_b, w_b = _l1_bytes(spec, full, self.target)
+            return TilingSolution(
+                spec=spec, cfg=full, target=self.target,
+                l1_in_bytes=in_b, l1_out_bytes=out_b, l1_weight_bytes=w_b,
+                objective=self._objective(spec, full), needs_tiling=False,
+            )
+
+        best: Optional[TileConfig] = None
+        best_score = float("-inf")
+        for cfg in self._candidate_configs(spec):
+            if not self._feasible(spec, cfg):
+                continue
+            score = self._objective(spec, cfg)
+            if score > best_score + 1e-12 or (
+                    abs(score - best_score) <= 1e-12 and best is not None
+                    and cfg.num_tiles(spec) < best.num_tiles(spec)):
+                best, best_score = cfg, score
+
+        if best is None:
+            raise TilingError(
+                f"{spec.name}: no feasible tiling for target {self.target} "
+                f"within L1 budget {self.l1_budget} B"
+            )
+        in_b, out_b, w_b = _l1_bytes(spec, best, self.target)
+        return TilingSolution(
+            spec=spec, cfg=best, target=self.target,
+            l1_in_bytes=in_b, l1_out_bytes=out_b, l1_weight_bytes=w_b,
+            objective=best_score, needs_tiling=True,
+        )
+
+    def _max_feasible_oy(self, spec: LayerSpec, c_t: int, k_t: int
+                         ) -> Optional[int]:
+        """Largest feasible oy_t for fixed channel tiles (binary search).
+
+        L1 bytes are monotone in oy_t, and so is the full objective
+        (memory term and the Eq. 5 H_DMA both grow with oy_t while the
+        PE heuristics ignore it), so per (c_t, k_t) only the maximal
+        feasible oy_t can be optimal.
+        """
+        make = lambda oy: TileConfig(c_t=c_t, k_t=k_t, oy_t=oy, ox_t=spec.ox)
+        if not self._feasible(spec, make(1)):
+            return None
+        lo, hi = 1, spec.oy
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._feasible(spec, make(mid)):
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _candidate_configs(self, spec: LayerSpec):
+        """Candidate tile configurations for the layer kind."""
+        if spec.kind == "dense":
+            for k_t in _candidates(spec.out_channels, include_all_up_to=64):
+                yield TileConfig(c_t=spec.in_channels, k_t=k_t)
+            return
+        if spec.kind == "add":
+            for c_t in _candidates(spec.in_channels):
+                oy = self._max_feasible_oy(spec, c_t, c_t)
+                if oy is not None:
+                    yield TileConfig(c_t=c_t, k_t=c_t, oy_t=oy, ox_t=spec.ox)
+            return
+        if spec.kind == "dwconv2d":
+            # depthwise: channels and rows; the width is never tiled.
+            for c_t in _candidates(spec.in_channels, include_all_up_to=32):
+                oy = self._max_feasible_oy(spec, c_t, c_t)
+                if oy is not None:
+                    yield TileConfig(c_t=c_t, k_t=c_t, oy_t=oy, ox_t=spec.ox)
+            return
+        if self.target == "soc.analog":
+            # weights sit in the macro; only row tiling is needed.
+            oy = self._max_feasible_oy(spec, spec.in_channels,
+                                       spec.out_channels)
+            if oy is not None:
+                yield TileConfig(c_t=spec.in_channels,
+                                 k_t=spec.out_channels, oy_t=oy,
+                                 ox_t=spec.ox)
+            return
+        # conv2d on digital: DORY tiles K, C (int32 partial sums) and
+        # the output height; the width is never tiled (contiguous DMA).
+        k_cands = _candidates(spec.out_channels, include_all_up_to=32)
+        c_cands = _candidates(spec.in_channels, include_all_up_to=32)
+        for k_t in k_cands:
+            for c_t in c_cands:
+                oy = self._max_feasible_oy(spec, c_t, k_t)
+                if oy is not None:
+                    yield TileConfig(c_t=c_t, k_t=k_t, oy_t=oy, ox_t=spec.ox)

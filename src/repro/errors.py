@@ -1,0 +1,58 @@
+"""Exception hierarchy for the HTVM reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Sub-classes mirror the stages of the
+compilation flow: IR construction, graph transformation, dispatching,
+DORY back-end code generation, and simulated execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad operator arity, attribute, or graph structure."""
+
+
+class ShapeError(IRError):
+    """Shape or dtype inference failed for an operator call."""
+
+
+class PatternError(ReproError):
+    """Invalid pattern construction or matching misuse."""
+
+
+class DispatchError(ReproError):
+    """No valid target (CPU or accelerator) could be chosen for a node."""
+
+
+class TilingError(ReproError):
+    """The DORY tiling solver could not find a feasible tiling."""
+
+
+class MemoryPlanError(ReproError):
+    """The L2 activation memory planner failed (e.g. arena exhausted)."""
+
+
+class OutOfMemoryError(MemoryPlanError):
+    """A deployment does not fit the platform's L2 memory.
+
+    This reproduces the paper's Table I entry where MobileNet deployed
+    with plain TVM on DIANA "stops running with an error, since more
+    than 512kB of memory has to be allocated".
+    """
+
+
+class CodegenError(ReproError):
+    """C code generation failed for a layer or kernel."""
+
+
+class SimulationError(ReproError):
+    """The SoC simulator was driven into an invalid state."""
+
+
+class UnsupportedError(ReproError):
+    """A model uses an operator or dtype the flow does not support."""

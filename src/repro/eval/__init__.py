@@ -1,0 +1,14 @@
+"""Evaluation harness: Tables I-II and Figs. 4-5 of the paper."""
+
+from . import fig4, fig5, layer_report, paper, sota, sweep, timeline
+from .harness import (
+    CONFIGS, DeploymentResult, deploy, format_table1, run_table1,
+    summarize_claims,
+)
+from .tables import format_table
+
+__all__ = [
+    "fig4", "fig5", "layer_report", "paper", "sota", "sweep", "timeline",
+    "CONFIGS", "DeploymentResult", "deploy", "format_table1", "run_table1",
+    "summarize_claims", "format_table",
+]

@@ -1,0 +1,105 @@
+"""Fig. 5 experiment: single-layer overhead characterization.
+
+For every layer geometry, compare the accelerator-peak view (trigger to
+completion, including the weight transfer — paper Sec. IV-B) with the
+full HTVM kernel call (call to return on the RISC-V host). Reported as
+throughput (MACs/cycle) and relative loss, per accelerator and layer
+type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..dory.heuristics import analog_heuristics, digital_heuristics
+from ..dory.layer_spec import LayerSpec
+from ..dory.tiler import DoryTiler
+from ..frontend.modelzoo import (
+    fig5_analog_conv_channel, fig5_analog_conv_spatial,
+    fig5_digital_conv_spatial, fig5_digital_dwconv, fig5_digital_fc_channel,
+)
+from ..runtime.cost import cost_layer
+from ..soc import DianaParams, DianaSoC
+
+#: the figure's series: (series name, target, layer list factory)
+SERIES = {
+    "digital_conv_spatial": ("soc.digital", fig5_digital_conv_spatial),
+    "digital_fc_channel": ("soc.digital", fig5_digital_fc_channel),
+    "digital_dwconv": ("soc.digital", fig5_digital_dwconv),
+    "analog_conv_channel": ("soc.analog", fig5_analog_conv_channel),
+    "analog_conv_spatial": ("soc.analog", fig5_analog_conv_spatial),
+}
+
+
+@dataclass
+class Fig5Point:
+    series: str
+    layer: str
+    macs: int
+    peak_cycles: float
+    full_cycles: float
+
+    @property
+    def peak_throughput(self) -> float:
+        return self.macs / self.peak_cycles if self.peak_cycles else 0.0
+
+    @property
+    def full_throughput(self) -> float:
+        return self.macs / self.full_cycles if self.full_cycles else 0.0
+
+    @property
+    def loss(self) -> float:
+        """Throughput loss of the full call vs. the peak measurement."""
+        if self.full_cycles <= 0:
+            return 0.0
+        return 1.0 - self.peak_cycles / self.full_cycles
+
+
+def characterize(series: Optional[Sequence[str]] = None,
+                 params: Optional[DianaParams] = None) -> List[Fig5Point]:
+    """Run the Fig. 5 characterization for the requested series."""
+    series = list(series) if series is not None else list(SERIES)
+    soc = DianaSoC(params=params)
+    points: List[Fig5Point] = []
+    for name in series:
+        target, factory = SERIES[name]
+        accel = soc.accelerator(target)
+        heur = (digital_heuristics() if target == "soc.digital"
+                else analog_heuristics())
+        tiler = DoryTiler(target, soc.params, heur)
+        for spec in factory():
+            sol = tiler.solve(spec)
+            rec = cost_layer(spec, sol, accel, soc.params)
+            points.append(Fig5Point(
+                series=name, layer=spec.name, macs=spec.macs(),
+                peak_cycles=rec.peak_cycles, full_cycles=rec.total_cycles,
+            ))
+    return points
+
+
+def loss_stats(points: List[Fig5Point]) -> Dict[str, Dict[str, float]]:
+    """min/mean/max loss per series."""
+    by_series: Dict[str, List[float]] = {}
+    for p in points:
+        by_series.setdefault(p.series, []).append(p.loss)
+    return {
+        name: {
+            "min": min(vals), "max": max(vals),
+            "mean": sum(vals) / len(vals),
+        }
+        for name, vals in by_series.items()
+    }
+
+
+def format_fig5(points: List[Fig5Point]) -> str:
+    from .tables import format_table
+    headers = ["series", "layer", "MMACs", "peak MAC/cy", "HTVM MAC/cy",
+               "loss %"]
+    rows = [[
+        p.series, p.layer, f"{p.macs / 1e6:.3f}",
+        f"{p.peak_throughput:.2f}", f"{p.full_throughput:.2f}",
+        f"{100 * p.loss:.1f}",
+    ] for p in points]
+    return format_table(headers, rows,
+                        title="Fig. 5 — single-layer overhead (peak vs. HTVM)")

@@ -1,0 +1,149 @@
+"""Deployment harness: the four Table I configurations, end to end.
+
+Each configuration pairs a model *precision variant* with a platform
+setup, exactly mirroring the paper's columns:
+
+* ``cpu-tvm``  — int8 model, no accelerators, plain-TVM flow
+  (no offload, no buffer reuse, TVM runtime),
+* ``digital``  — int8 model, digital accelerator only, HTVM flow,
+* ``analog``   — ternary model, analog accelerator only, HTVM flow,
+* ``mixed``    — mixed-precision model, both accelerators, HTVM flow.
+
+Every run is verified bit-exact against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.compiler import compile_model
+from ..core.config import CompilerConfig, HTVM, TVM_CPU
+from ..core.program import CompiledModel
+from ..errors import OutOfMemoryError
+from ..frontend.modelzoo import MLPERF_TINY
+from ..runtime import ExecutionResult, Executor, random_inputs, run_reference
+from ..soc import DianaParams, DianaSoC, latency_ms
+from .tables import format_table, fmt_ms
+from . import paper
+
+#: configuration label -> (model precision, soc kwargs, compiler config)
+CONFIGS: Dict[str, tuple] = {
+    "cpu-tvm": ("int8", dict(enable_digital=False, enable_analog=False),
+                TVM_CPU),
+    "digital": ("int8", dict(enable_analog=False), HTVM),
+    "analog": ("ternary", dict(enable_digital=False), HTVM),
+    "mixed": ("mixed", dict(), HTVM),
+}
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of one (model, configuration) deployment."""
+
+    model: str
+    config: str
+    oom: bool = False
+    latency_ms: Optional[float] = None
+    peak_ms: Optional[float] = None
+    size_kb: Optional[float] = None
+    verified: Optional[bool] = None
+    compiled: Optional[CompiledModel] = None
+    execution: Optional[ExecutionResult] = None
+
+
+def deploy(model: str, config: str,
+           params: Optional[DianaParams] = None,
+           verify: bool = True,
+           seed: int = 0) -> DeploymentResult:
+    """Compile + simulate one MLPerf Tiny model in one configuration."""
+    if model not in MLPERF_TINY:
+        raise KeyError(f"unknown model {model!r}; have {sorted(MLPERF_TINY)}")
+    precision, soc_kwargs, cfg = CONFIGS[config]
+    graph = MLPERF_TINY[model](precision=precision, seed=seed)
+    soc = DianaSoC(params=params, **soc_kwargs)
+
+    result = DeploymentResult(model=model, config=config)
+    try:
+        compiled = compile_model(graph, soc, cfg)
+    except OutOfMemoryError:
+        result.oom = True
+        # size is still reportable: compile without the L2 check
+        compiled = compile_model(graph, soc, cfg.with_overrides(check_l2=False))
+        result.size_kb = compiled.binary_size_bytes / 1024
+        result.compiled = compiled
+        return result
+
+    feeds = random_inputs(graph, seed=seed + 1)
+    execution = Executor(soc).run(compiled, feeds)
+    if verify:
+        reference = run_reference(compiled.graph, feeds)
+        result.verified = bool(np.array_equal(
+            np.asarray(reference), np.asarray(execution.output)))
+
+    result.latency_ms = latency_ms(execution.total_cycles, soc.params)
+    result.peak_ms = latency_ms(execution.peak_cycles, soc.params)
+    result.size_kb = compiled.binary_size_bytes / 1024
+    result.compiled = compiled
+    result.execution = execution
+    return result
+
+
+def run_table1(models: Optional[List[str]] = None,
+               configs: Optional[List[str]] = None,
+               params: Optional[DianaParams] = None,
+               verify: bool = True) -> List[DeploymentResult]:
+    """All Table I cells (or a subset)."""
+    models = models or sorted(MLPERF_TINY)
+    configs = configs or list(CONFIGS)
+    return [deploy(m, c, params=params, verify=verify)
+            for m in models for c in configs]
+
+
+def format_table1(results: List[DeploymentResult]) -> str:
+    """Paper-style Table I with paper-reported values alongside."""
+    headers = ["model", "config", "peak ms", "HTVM ms", "size kB",
+               "paper peak", "paper HTVM", "paper kB", "exact"]
+    rows = []
+    for r in results:
+        ref = paper.TABLE1.get(r.model, {}).get(r.config, (None, None, None))
+        rows.append([
+            r.model, r.config,
+            "OoM" if r.oom else fmt_ms(r.peak_ms),
+            "OoM" if r.oom else fmt_ms(r.latency_ms),
+            None if r.size_kb is None else f"{r.size_kb:.0f}",
+            "OoM" if (ref[1] is None and ref[0] is None) else fmt_ms(ref[0]),
+            "OoM" if ref[1] is None else fmt_ms(ref[1]),
+            ref[2],
+            r.verified,
+        ])
+    return format_table(
+        headers, rows,
+        title="Table I — MLPerf Tiny on DIANA (measured vs. paper)")
+
+
+def summarize_claims(results: List[DeploymentResult]) -> Dict[str, float]:
+    """Recompute the paper's headline end-to-end claims."""
+    by_key = {(r.model, r.config): r for r in results}
+
+    def lat(model, config):
+        r = by_key.get((model, config))
+        return r.latency_ms if r and r.latency_ms else None
+
+    claims: Dict[str, float] = {}
+    if lat("resnet", "cpu-tvm") and lat("resnet", "digital"):
+        claims["resnet_digital_speedup_over_tvm"] = (
+            lat("resnet", "cpu-tvm") / lat("resnet", "digital"))
+    if lat("resnet", "cpu-tvm") and lat("resnet", "mixed"):
+        claims["resnet_mixed_speedup_over_tvm"] = (
+            lat("resnet", "cpu-tvm") / lat("resnet", "mixed"))
+    if lat("dscnn", "analog") and lat("dscnn", "mixed"):
+        claims["dscnn_mixed_speedup_over_analog"] = (
+            lat("dscnn", "analog") / lat("dscnn", "mixed"))
+    cpu = by_key.get(("resnet", "cpu-tvm"))
+    dig = by_key.get(("resnet", "digital"))
+    if cpu and dig and cpu.size_kb and dig.size_kb:
+        claims["resnet_binary_reduction"] = 1 - dig.size_kb / cpu.size_kb
+    return claims

@@ -1,0 +1,88 @@
+"""Per-layer deployment reports.
+
+DORY-style layer tables for a compiled + executed model: geometry,
+target, tiling, cycles by phase, throughput, and energy — the view an
+embedded developer uses to find the layer that blows the budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.program import AccelStep, CompiledModel, CpuKernelStep
+from ..runtime.executor import ExecutionResult
+from ..soc.energy import kernel_energy_pj
+from ..soc.params import DianaParams
+from .tables import format_table
+
+
+@dataclass
+class LayerRow:
+    """One row of the per-layer report."""
+
+    name: str
+    target: str
+    geometry: str
+    tiles: int
+    cycles: float
+    macs: int
+    energy_uj: float
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+
+def _geometry_of(step) -> str:
+    if isinstance(step, AccelStep):
+        s = step.spec
+        if s.kind == "dense":
+            return f"dense {s.in_channels}->{s.out_channels}"
+        if s.kind == "add":
+            return f"add {s.in_channels}x{s.oy}x{s.ox}"
+        tag = "dw" if s.is_depthwise else "conv"
+        return (f"{tag} {s.in_channels}->{s.out_channels} "
+                f"{s.fy}x{s.fx}/{s.strides[0]} @{s.oy}x{s.ox}")
+    if isinstance(step, CpuKernelStep):
+        ops = "+".join(c.op.split(".")[-1] for c in step.body.calls())
+        return ops[:34]
+    return "?"
+
+
+def layer_report(model: CompiledModel, result: ExecutionResult,
+                 params: DianaParams) -> List[LayerRow]:
+    """Join the compiled steps with their execution records."""
+    rows: List[LayerRow] = []
+    for step, rec in zip(model.steps, result.perf.records):
+        tiles = rec.num_tiles
+        rows.append(LayerRow(
+            name=step.name,
+            target=step.target,
+            geometry=_geometry_of(step),
+            tiles=tiles,
+            cycles=rec.total_cycles,
+            macs=rec.macs,
+            energy_uj=kernel_energy_pj(rec, params) / 1e6,
+        ))
+    return rows
+
+
+def format_layer_report(rows: List[LayerRow],
+                        top: Optional[int] = None) -> str:
+    """Render the report, optionally only the ``top`` slowest layers."""
+    selected = rows
+    title = "per-layer report"
+    if top is not None:
+        selected = sorted(rows, key=lambda r: -r.cycles)[:top]
+        title = f"per-layer report — top {top} by cycles"
+    total_cycles = sum(r.cycles for r in rows) or 1.0
+    table_rows = [[
+        r.name, r.target, r.geometry, r.tiles,
+        f"{r.cycles:,.0f}", f"{100 * r.cycles / total_cycles:.1f}%",
+        f"{r.macs_per_cycle:.1f}", f"{r.energy_uj:.2f}",
+    ] for r in selected]
+    return format_table(
+        ["layer", "target", "geometry", "tiles", "cycles", "share",
+         "MAC/cy", "uJ"],
+        table_rows, title=title)

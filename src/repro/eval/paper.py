@@ -1,0 +1,74 @@
+"""Published numbers from the paper, for paper-vs-measured reporting.
+
+All values transcribed from the DAC 2023 paper (arXiv:2406.07453):
+Table I (latency ms / binary kB on DIANA), Table II (SotA comparison at
+a normalized 260 MHz clock), and the headline claims of Figs. 4-5.
+``None`` marks the MobileNet out-of-memory entry.
+"""
+
+from __future__ import annotations
+
+#: Table I — per model, per configuration: (peak_ms, htvm_ms, size_kb).
+#: The CPU/TVM column has no peak measurement: (None, lat, size).
+TABLE1 = {
+    "dscnn": {
+        "cpu-tvm": (None, 48.24, 59),
+        "digital": (1.70, 1.75, 60),
+        "analog": (13.51, 13.51, 93),
+        "mixed": (1.66, 1.69, 81),
+    },
+    "mobilenet": {
+        "cpu-tvm": (None, None, 289),     # OoM
+        "digital": (5.42, 5.68, 306),
+        "analog": (40.67, 40.67, 239),
+        "mixed": (5.39, 5.82, 293),
+    },
+    "resnet": {
+        "cpu-tvm": (None, 134.11, 122),
+        "digital": (0.66, 1.19, 107),
+        "analog": (1.52, 1.53, 129),
+        "mixed": (0.61, 1.12, 108),
+    },
+    "toyadmos": {
+        "cpu-tvm": (None, 4.70, 287),
+        "digital": (0.30, 0.36, 315),
+        "analog": (0.80, 0.80, 171),
+        "mixed": (0.49, 0.52, 275),
+    },
+}
+
+#: Table II — latency (ms) at 260 MHz on other platforms/toolchains.
+TABLE2 = {
+    "dscnn": {"stm32-tvm": 66.6, "stm32-cmsis": 46.1, "gap9-gapflow": 0.68,
+              "htvm-diana-digital": 1.75},
+    "mobilenet": {"stm32-tvm": 155.0, "stm32-cmsis": 139.0,
+                  "gap9-gapflow": 1.61, "htvm-diana-digital": 5.68},
+    "resnet": {"stm32-tvm": 180.0, "stm32-cmsis": 180.0,
+               "gap9-gapflow": 0.88, "htvm-diana-digital": 1.19},
+    "toyadmos": {"stm32-tvm": 5.4, "stm32-cmsis": 3.97,
+                 "gap9-gapflow": 0.256, "htvm-diana-digital": 0.36},
+}
+
+#: Fig. 4: maximum speed-up of heuristic tiling over the baseline tiler.
+FIG4_MAX_SPEEDUP = 6.2
+
+#: Fig. 5 headline overhead numbers (throughput loss of the full HTVM
+#: kernel call vs. the accelerator-peak measurement).
+FIG5 = {
+    "analog_conv_mean_loss": 0.052,   # "about 5.20% on average"
+    "analog_conv_min_loss": 0.0051,   # "a minimum of 0.51%"
+    "digital_conv_best_loss": 0.0132,  # "loses at best only 1.32%"
+    "digital_fc_worst_loss": 0.545,   # "about 54.5%"
+    "digital_dw_max_loss": 0.207,     # "never more than 20.7% slower"
+    "digital_dw_peak_macs": 3.75,     # MACs/cycle
+}
+
+#: Headline end-to-end claims (Sec. IV-C).
+CLAIMS = {
+    "resnet_digital_speedup_over_tvm": 112.0,
+    "resnet_mixed_speedup_over_tvm": 120.0,
+    "dscnn_mixed_speedup_over_analog": 8.0,
+    "resnet_binary_reduction": 0.123,
+    "digital_conv_peak_gap": 0.1552,   # avg distance from theoretical peak
+    "analog_conv_peak_gap": 0.0519,
+}

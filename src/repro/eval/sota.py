@@ -1,0 +1,65 @@
+"""Table II: comparison with state-of-the-art tools and platforms.
+
+The paper compares HTVM-on-DIANA against latencies *published* in the
+MLPerf Tiny v1.0 result list for an STM32L4R5ZIT6U (TVM and
+TVM+CMSIS-NN kernels) and a GAP9 compiled with GreenWaves' GAPflow, all
+normalized to a 260 MHz clock. We do the same: the competitor columns
+are the published constants (we cannot re-run closed platforms), and
+the HTVM column is re-measured on the simulated DIANA in the digital
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..soc import DianaParams
+from .harness import deploy
+from .paper import TABLE2
+from .tables import format_table
+
+MODELS = ("dscnn", "mobilenet", "resnet", "toyadmos")
+PLATFORMS = ("stm32-tvm", "stm32-cmsis", "gap9-gapflow")
+
+
+def run_table2(params: Optional[DianaParams] = None,
+               verify: bool = False) -> Dict[str, Dict[str, float]]:
+    """Published columns + our measured HTVM/DIANA-digital latency."""
+    out: Dict[str, Dict[str, float]] = {}
+    for model in MODELS:
+        row = dict(TABLE2[model])
+        res = deploy(model, "digital", params=params, verify=verify)
+        row["htvm-diana-digital (measured)"] = res.latency_ms
+        out[model] = row
+    return out
+
+
+def speedups(table: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Measured-HTVM speed-up vs. every published platform."""
+    out: Dict[str, Dict[str, float]] = {}
+    for model, row in table.items():
+        ours = row["htvm-diana-digital (measured)"]
+        out[model] = {
+            platform: row[platform] / ours for platform in PLATFORMS
+        }
+    return out
+
+
+def format_table2(table: Dict[str, Dict[str, float]]) -> str:
+    headers = ["model"] + list(PLATFORMS) + [
+        "paper HTVM", "measured HTVM", "vs STM-TVM", "vs GAP9"]
+    rows: List[list] = []
+    for model, row in table.items():
+        ours = row["htvm-diana-digital (measured)"]
+        rows.append([
+            model,
+            *(f"{row[p]:.2f}" for p in PLATFORMS),
+            f"{row['htvm-diana-digital']:.2f}",
+            f"{ours:.2f}",
+            f"{row['stm32-tvm'] / ours:.0f}x",
+            f"{row['gap9-gapflow'] / ours:.2f}x",
+        ])
+    return format_table(
+        headers, rows,
+        title="Table II — SotA comparison, latency ms @ 260 MHz "
+              "(competitor columns are published values)")

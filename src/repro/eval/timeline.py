@@ -1,0 +1,96 @@
+"""Execution timeline — the paper's Fig. 2 "time diagram".
+
+Fig. 2 of the paper shows a network deployed with HTVM as a sequence of
+kernel executions on the host and the accelerators, with DMA phases in
+between. This module renders the same view from the executor's
+performance counters: an ASCII Gantt chart with one lane per execution
+target plus a per-kernel phase breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..soc.perf import PerfCounters
+
+#: phase display order + one-letter glyphs for the chart
+_PHASES = [
+    ("runtime", "r"),
+    ("weight_dma", "W"),
+    ("act_dma", "D"),
+    ("accel_compute", "#"),
+    ("tile_loop", "l"),
+    ("cpu_compute", "C"),
+]
+
+
+@dataclass
+class TimelineEntry:
+    """One kernel occupying [start, end) cycles on its target lane."""
+
+    name: str
+    target: str
+    start: float
+    end: float
+    phases: dict
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def build_timeline(perf: PerfCounters) -> List[TimelineEntry]:
+    """Sequential timeline (HTVM executes kernels back-to-back)."""
+    entries: List[TimelineEntry] = []
+    cursor = 0.0
+    for rec in perf.records:
+        end = cursor + rec.total_cycles
+        entries.append(TimelineEntry(
+            name=rec.name, target=rec.target, start=cursor, end=end,
+            phases=dict(rec.cycles)))
+        cursor = end
+    return entries
+
+
+def render_timeline(perf: PerfCounters, width: int = 72) -> str:
+    """ASCII Gantt chart, one lane per target (cf. paper Fig. 2)."""
+    entries = build_timeline(perf)
+    if not entries:
+        return "(empty timeline)"
+    total = entries[-1].end
+    scale = width / total if total else 0.0
+    lanes = sorted({e.target for e in entries})
+    lines = [f"timeline: {total:,.0f} cycles total "
+             f"({total / 260e3:.3f} ms @ 260 MHz)"]
+    for lane in lanes:
+        row = [" "] * width
+        for e in entries:
+            if e.target != lane:
+                continue
+            lo = min(int(e.start * scale), width - 1)
+            hi = max(lo + 1, min(int(e.end * scale), width))
+            for i in range(lo, hi):
+                row[i] = "#" if lane != "cpu" else "C"
+        lines.append(f"{lane:<12} |{''.join(row)}|")
+    lines.append("")
+    lines.append(f"{'kernel':<34} {'target':<12} {'cycles':>10}  phases")
+    for e in entries:
+        breakdown = " ".join(
+            f"{glyph}:{e.phases[cat]:,.0f}"
+            for cat, glyph in _PHASES if e.phases.get(cat))
+        lines.append(f"{e.name:<34} {e.target:<12} {e.duration:>10,.0f}  "
+                     f"{breakdown}")
+    lines.append("")
+    lines.append("phase key: " + ", ".join(
+        f"{glyph}={cat}" for cat, glyph in _PHASES))
+    return "\n".join(lines)
+
+
+def utilization_by_target(perf: PerfCounters) -> dict:
+    """Fraction of total execution time each target is busy."""
+    total = perf.total_cycles
+    if not total:
+        return {}
+    return {target: cycles / total
+            for target, cycles in perf.cycles_by_target().items()}

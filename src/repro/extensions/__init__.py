@@ -1,0 +1,18 @@
+"""Extensions beyond the paper's evaluation.
+
+These modules explore directions the paper positions itself against or
+defers to future work: depth-first (patch-based) execution as in
+MCUNetV2 [11] / DepFiN [12], and the analog-noise study hooks.
+"""
+
+from .depthfirst_exec import run_chain_depth_first, run_chain_layer_by_layer
+from .depthfirst import (
+    DepthFirstPlan, analyze_depth_first, chain_from_graph,
+    layer_by_layer_peak_bytes,
+)
+
+__all__ = [
+    "DepthFirstPlan", "analyze_depth_first", "chain_from_graph",
+    "layer_by_layer_peak_bytes",
+    "run_chain_depth_first", "run_chain_layer_by_layer",
+]

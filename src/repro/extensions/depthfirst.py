@@ -1,0 +1,199 @@
+"""Depth-first (patch-based) execution analysis.
+
+The paper's related work (Sec. II-B) discusses MCUNetV2 [11], which
+"executes layers in a depth-first fashion [12] to reduce peak memory
+consumption": instead of materializing every intermediate feature map
+in L2, a *chain* of convolution layers is evaluated patch by patch, so
+only patch-sized intermediates exist at any time — at the price of
+recomputing the halo overlap between patches.
+
+HTVM executes layer-by-layer; this module quantifies what depth-first
+would buy on the same workloads:
+
+* :func:`layer_by_layer_peak_bytes` — HTVM's L2 activation peak for a
+  chain (consecutive input+output residency),
+* :func:`analyze_depth_first` — peak memory and recompute overhead of
+  patch-based execution with a p x p output patch grid,
+* :func:`chain_from_graph` — extract the longest conv chain of a model.
+
+The analysis is exact: patch halos are propagated backwards through
+strides/kernels layer by layer, and the recompute factor is the true
+ratio of patched MACs over nominal MACs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..dory.layer_spec import LayerSpec
+from ..errors import UnsupportedError
+from ..ir import Composite, Graph
+
+
+@dataclass
+class DepthFirstPlan:
+    """Outcome of analyzing one patch grid for a conv chain."""
+
+    num_patches: int
+    patch_grid: Tuple[int, int]
+    peak_bytes: int                 #: chain input + output + patch buffers
+    patch_buffer_bytes: int         #: largest per-patch intermediate pair
+    total_macs: int                 #: including halo recompute
+    nominal_macs: int
+    per_layer_patch_rows: List[int] = field(default_factory=list)
+
+    @property
+    def recompute_factor(self) -> float:
+        return self.total_macs / self.nominal_macs if self.nominal_macs else 1.0
+
+
+def _check_chain(chain: List[LayerSpec]):
+    if not chain:
+        raise UnsupportedError("empty layer chain")
+    for a, b in zip(chain, chain[1:]):
+        if a.out_channels != b.in_channels:
+            raise UnsupportedError(
+                f"chain mismatch: {a.name} K={a.out_channels} feeds "
+                f"{b.name} C={b.in_channels}")
+        if (a.oy, a.ox) != (b.iy, b.ix):
+            raise UnsupportedError(
+                f"chain mismatch: {a.name} {a.oy}x{a.ox} feeds "
+                f"{b.name} {b.iy}x{b.ix}")
+
+
+def layer_by_layer_peak_bytes(chain: List[LayerSpec]) -> int:
+    """Peak L2 activation residency of standard execution.
+
+    While layer i runs, its full input and output coexist.
+    """
+    _check_chain(chain)
+    return max(s.input_elements() + s.output_elements() for s in chain)
+
+
+def _needed_input_range(lo: int, hi: int, stride: int, f: int, pad: int,
+                        in_dim: int) -> Tuple[int, int]:
+    """Input interval a layer reads to produce outputs [lo, hi), clipped."""
+    ilo = max(0, lo * stride - pad)
+    ihi = min(in_dim, (hi - 1) * stride + f - pad)
+    return ilo, ihi
+
+
+def _backward_ranges(chain: List[LayerSpec],
+                     oy: Tuple[int, int], ox: Tuple[int, int]):
+    """Per-layer *output* ranges needed to produce the final patch.
+
+    Returns a list aligned with ``chain``: entry i is the
+    ((y0, y1), (x0, x1)) output region layer i must compute.
+    """
+    ranges = [None] * len(chain)
+    ranges[-1] = (oy, ox)
+    cur_y, cur_x = oy, ox
+    for i in range(len(chain) - 1, 0, -1):
+        spec = chain[i]
+        cur_y = _needed_input_range(cur_y[0], cur_y[1], spec.strides[0],
+                                    spec.fy, spec.padding[0], spec.iy)
+        cur_x = _needed_input_range(cur_x[0], cur_x[1], spec.strides[1],
+                                    spec.fx, spec.padding[1], spec.ix)
+        ranges[i - 1] = (cur_y, cur_x)
+    return ranges
+
+
+def analyze_depth_first(chain: List[LayerSpec],
+                        patch_grid: Tuple[int, int]) -> DepthFirstPlan:
+    """Analyze patch-based execution of a conv chain.
+
+    Args:
+        chain: shape-compatible convolution layers (conv2d / dwconv2d).
+        patch_grid: (rows, cols) of output patches.
+
+    The chain's *input* and *output* tensors live in L2 in full (they
+    interface with the rest of the network); every intermediate exists
+    only at patch granularity. Halo regions are recomputed per patch
+    (MCUNetV2's approach, no line-buffer caching), and the analysis is
+    exact: every patch's region is propagated backwards with boundary
+    clipping, so both the recompute factor and the peak buffers are
+    true values, not estimates.
+    """
+    _check_chain(chain)
+    last = chain[-1]
+    py, px = patch_grid
+    if py < 1 or px < 1 or py > last.oy or px > last.ox:
+        raise UnsupportedError(f"invalid patch grid {patch_grid}")
+
+    nominal = sum(s.macs() for s in chain)
+    in_full = chain[0].input_elements()
+    out_full = last.output_elements()
+
+    total_macs = 0
+    worst_pair = 0
+    for iy in range(py):
+        y0, y1 = (last.oy * iy) // py, (last.oy * (iy + 1)) // py
+        for ix in range(px):
+            x0, x1 = (last.ox * ix) // px, (last.ox * (ix + 1)) // px
+            if y0 == y1 or x0 == x1:
+                continue
+            ranges = _backward_ranges(chain, (y0, y1), (x0, x1))
+            first = chain[0]
+            in_y = _needed_input_range(
+                ranges[0][0][0], ranges[0][0][1], first.strides[0],
+                first.fy, first.padding[0], first.iy)
+            in_x = _needed_input_range(
+                ranges[0][1][0], ranges[0][1][1], first.strides[1],
+                first.fx, first.padding[1], first.ix)
+            prev_elems = (first.in_channels
+                          * (in_y[1] - in_y[0]) * (in_x[1] - in_x[0]))
+            for spec, ((ry0, ry1), (rx0, rx1)) in zip(chain, ranges):
+                out_rows = ry1 - ry0
+                out_cols = rx1 - rx0
+                out_elems = spec.out_channels * out_rows * out_cols
+                cg = spec.in_channels // spec.groups
+                total_macs += (spec.out_channels * cg * spec.fy * spec.fx
+                               * out_rows * out_cols)
+                worst_pair = max(worst_pair, prev_elems + out_elems)
+                prev_elems = out_elems
+
+    nominal_rows = [r[0][1] - r[0][0] for r in _backward_ranges(
+        chain, (0, math.ceil(last.oy / py)), (0, math.ceil(last.ox / px)))]
+    return DepthFirstPlan(
+        num_patches=py * px,
+        patch_grid=(py, px),
+        peak_bytes=in_full + out_full + worst_pair,
+        patch_buffer_bytes=worst_pair,
+        total_macs=total_macs,
+        nominal_macs=nominal,
+        per_layer_patch_rows=nominal_rows,
+    )
+
+
+def chain_from_graph(graph: Graph, max_len: Optional[int] = None
+                     ) -> List[LayerSpec]:
+    """Extract the longest single-consumer conv chain of a model.
+
+    Operates on a partitioned graph (composites present); useful for
+    asking "what would depth-first buy on MobileNet's first stages?".
+    """
+    from ..dispatch.rules import layer_spec_of
+
+    comps = [c for c in graph.composites()
+             if c.pattern_name == "htvm.qconv2d"]
+    users = graph.users()
+    chain: List[LayerSpec] = []
+    for i, comp in enumerate(comps):
+        spec = layer_spec_of(comp, i)
+        if spec is None or spec.kind not in ("conv2d", "dwconv2d"):
+            break
+        if chain:
+            prev = chain[-1]
+            if (prev.out_channels != spec.in_channels
+                    or (prev.oy, prev.ox) != (spec.iy, spec.ix)):
+                break
+        chain.append(spec)
+        if len(users[comp.node_id]) != 1:
+            break
+        if max_len and len(chain) >= max_len:
+            break
+    if not chain:
+        raise UnsupportedError("graph has no leading conv chain")
+    return chain

@@ -1,0 +1,97 @@
+"""Functional depth-first execution of a convolution chain.
+
+Complements the analysis in :mod:`repro.extensions.depthfirst` with an
+actual *executor*: the chain is evaluated patch by patch — each final
+output patch is traced back through the layers, the required input
+window is sliced (with boundary padding), and the whole sub-pyramid is
+recomputed with the same integer kernels the accelerators use.
+
+The point is the bit-exactness guarantee: depth-first execution must
+produce byte-identical results to layer-by-layer execution, halos and
+all, which the property tests assert for random geometries. This is the
+invariant a future depth-first HTVM backend would have to maintain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .. import numerics as K
+from ..dory.layer_spec import LayerSpec
+from ..errors import UnsupportedError
+from .depthfirst import _backward_ranges, _check_chain, _needed_input_range
+
+
+def _run_layer(spec: LayerSpec, x: np.ndarray, pad) -> np.ndarray:
+    groups = spec.groups if spec.is_depthwise else 1
+    acc = K.conv2d(x, spec.weight, spec.strides, pad, groups)
+    if spec.bias is not None:
+        acc = K.bias_add(acc, spec.bias, axis=1)
+    lo, hi = (-64, 63) if spec.out_dtype == "int7" else (-128, 127)
+    return K.requantize(acc, spec.shift, spec.relu, lo, hi)
+
+
+def run_chain_layer_by_layer(chain: List[LayerSpec],
+                             x: np.ndarray) -> np.ndarray:
+    """Standard execution: full feature maps between layers."""
+    _check_chain(chain)
+    for spec in chain:
+        if spec.weight is None:
+            raise UnsupportedError(f"{spec.name}: chain layer needs weights")
+        x = _run_layer(spec, x, spec.padding)
+    return x
+
+
+def run_chain_depth_first(chain: List[LayerSpec], x: np.ndarray,
+                          patch_grid: Tuple[int, int]) -> np.ndarray:
+    """Patch-based execution with halo recompute.
+
+    For every output patch of the last layer, slices the (boundary-
+    clipped, zero-padded) input window and recomputes the sub-pyramid.
+    Bit-exact vs. :func:`run_chain_layer_by_layer` by construction of
+    the integer kernels — the tests assert it for random chains.
+    """
+    _check_chain(chain)
+    final = chain[-1]
+    py, px = patch_grid
+    if py < 1 or px < 1 or py > final.oy or px > final.ox:
+        raise UnsupportedError(f"invalid patch grid {patch_grid}")
+
+    out = np.zeros((1, final.out_channels, final.oy, final.ox),
+                   dtype=np.int8)
+    for iy in range(py):
+        y0, y1 = (final.oy * iy) // py, (final.oy * (iy + 1)) // py
+        for ix in range(px):
+            x0, x1 = (final.ox * ix) // px, (final.ox * (ix + 1)) // px
+            if y0 == y1 or x0 == x1:
+                continue
+            ranges = _backward_ranges(chain, (y0, y1), (x0, x1))
+            # slice the chain input window (with residual zero padding)
+            first = chain[0]
+            in_y = _needed_input_range(
+                ranges[0][0][0], ranges[0][0][1], first.strides[0],
+                first.fy, first.padding[0], first.iy)
+            in_x = _needed_input_range(
+                ranges[0][1][0], ranges[0][1][1], first.strides[1],
+                first.fx, first.padding[1], first.ix)
+            window = x[:, :, in_y[0]:in_y[1], in_x[0]:in_x[1]]
+
+            patch = window
+            cur_y, cur_x = in_y, in_x
+            for spec, ((ry0, ry1), (rx0, rx1)) in zip(chain, ranges):
+                # residual zero padding: output row ry reads input rows
+                # [ry*s - p, ry*s - p + f); whatever falls outside the
+                # tensor is the conv's own zero border
+                pt = max(0, -(ry0 * spec.strides[0] - spec.padding[0]))
+                pb = max(0, (ry1 - 1) * spec.strides[0] + spec.fy
+                         - spec.padding[0] - spec.iy)
+                pl = max(0, -(rx0 * spec.strides[1] - spec.padding[1]))
+                pr = max(0, (rx1 - 1) * spec.strides[1] + spec.fx
+                         - spec.padding[1] - spec.ix)
+                padded = np.pad(patch, ((0, 0), (0, 0), (pt, pb), (pl, pr)))
+                patch = _run_layer(spec, padded, (0, 0))
+                cur_y, cur_x = (ry0, ry1), (rx0, rx1)
+            out[:, :, y0:y1, x0:x1] = patch
+    return out

@@ -1,0 +1,10 @@
+"""Front-end: quantization policies and the MLPerf Tiny model zoo."""
+
+from .quantize import INT8, LayerQuant, MIXED, PRECISIONS, TERNARY, layer_quant
+from . import modelzoo
+from .importer import import_model
+
+__all__ = [
+    "INT8", "LayerQuant", "MIXED", "PRECISIONS", "TERNARY", "layer_quant",
+    "modelzoo", "import_model",
+]

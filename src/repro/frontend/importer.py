@@ -1,0 +1,148 @@
+"""Model-description importer.
+
+HTVM "ingests a quantized DNN graph in common formats like TFLite or
+ONNX with TVM's front end" (paper Sec. III). Stand-alone parsers for
+those binary formats are out of scope here; instead the library accepts
+a compact JSON-able *model description* — a layer list in the style of
+a Keras config — and lowers it to the IR, including requantization
+chains and (optionally seeded-random) weights.
+
+Example::
+
+    desc = {
+        "name": "tiny",
+        "input": {"shape": [1, 3, 16, 16], "dtype": "int8"},
+        "layers": [
+            {"type": "conv2d", "filters": 16, "kernel": 3, "padding": 1},
+            {"type": "residual", "layers": [
+                {"type": "conv2d", "filters": 16, "kernel": 3,
+                 "padding": 1, "relu": False},
+            ]},
+            {"type": "max_pool", "size": 2},
+            {"type": "flatten"},
+            {"type": "dense", "units": 10},
+            {"type": "softmax"},
+        ],
+    }
+    graph = import_model(desc, seed=0)
+
+The full IR (with trained weights) round-trips through
+:mod:`repro.ir.serialization`; this importer is the human-writable
+front door.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import UnsupportedError
+from ..ir import Constant, ConstantTensor, Graph, GraphBuilder, Node
+
+
+def _pair(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(int(v) for v in value)
+    return (int(value), int(value))
+
+
+class _Importer:
+    def __init__(self, desc: Dict, seed: int):
+        self.desc = desc
+        self.builder = GraphBuilder(name=desc.get("name", "imported"),
+                                    seed=seed)
+
+    def run(self) -> Graph:
+        spec = self.desc.get("input")
+        if not spec:
+            raise UnsupportedError("model description has no 'input'")
+        x = self.builder.input("data", tuple(spec["shape"]),
+                               spec.get("dtype", "int8"))
+        x = self._lower_layers(x, self.desc.get("layers", []))
+        return self.builder.finish(x)
+
+    def _lower_layers(self, x: Node, layers: List[Dict]) -> Node:
+        for layer in layers:
+            x = self._lower(x, dict(layer))
+        return x
+
+    def _weight(self, layer: Dict, shape, dtype: str):
+        if "weights" in layer:
+            return Constant(ConstantTensor(
+                np.asarray(layer["weights"]).reshape(shape), dtype))
+        return None
+
+    def _lower(self, x: Node, layer: Dict) -> Node:
+        b = self.builder
+        kind = layer.pop("type", None)
+        if kind == "conv2d":
+            filters = int(layer["filters"])
+            kernel = _pair(layer.get("kernel", 3))
+            c = x.shape[1]
+            weight = self._weight(
+                layer, (filters, c, *kernel), layer.get("weight_dtype", "int8"))
+            return b.conv2d_requant(
+                x, filters, kernel=kernel,
+                strides=_pair(layer.get("strides", 1)),
+                padding=_pair(layer.get("padding", 0)),
+                shift=int(layer.get("shift", 8)),
+                relu=bool(layer.get("relu", True)),
+                weight_dtype=layer.get("weight_dtype", "int8"),
+                out_dtype=layer.get("out_dtype", "int8"),
+                weight=weight,
+            )
+        if kind == "depthwise_conv2d":
+            c = x.shape[1]
+            return b.conv2d_requant(
+                x, c, kernel=_pair(layer.get("kernel", 3)),
+                strides=_pair(layer.get("strides", 1)),
+                padding=_pair(layer.get("padding", 1)),
+                groups=c, shift=int(layer.get("shift", 8)),
+                relu=bool(layer.get("relu", True)),
+                weight_dtype=layer.get("weight_dtype", "int8"),
+                out_dtype=layer.get("out_dtype", "int8"),
+            )
+        if kind == "dense":
+            units = int(layer["units"])
+            weight = self._weight(layer, (units, x.shape[1]),
+                                  layer.get("weight_dtype", "int8"))
+            return b.dense_requant(
+                x, units, shift=int(layer.get("shift", 8)),
+                relu=bool(layer.get("relu", False)),
+                weight_dtype=layer.get("weight_dtype", "int8"),
+                out_dtype=layer.get("out_dtype", "int8"),
+                weight=weight,
+            )
+        if kind == "residual":
+            branch = self._lower_layers(x, layer.get("layers", []))
+            return b.add_requant(
+                x, branch, shift=int(layer.get("shift", 1)),
+                relu=bool(layer.get("relu", True)),
+                out_dtype=layer.get("out_dtype", "int8"))
+        if kind == "max_pool":
+            return b.max_pool2d(x, _pair(layer.get("size", 2)),
+                                strides=_pair(layer["strides"])
+                                if "strides" in layer else None)
+        if kind == "avg_pool":
+            return b.avg_pool2d(x, _pair(layer.get("size", 2)),
+                                strides=_pair(layer["strides"])
+                                if "strides" in layer else None)
+        if kind == "global_avg_pool":
+            return b.global_avg_pool2d(x)
+        if kind == "flatten":
+            return b.flatten(x)
+        if kind == "reshape":
+            return b.reshape(x, tuple(layer["shape"]))
+        if kind == "softmax":
+            return b.softmax(x)
+        raise UnsupportedError(f"importer: unknown layer type {kind!r}")
+
+
+def import_model(desc: Dict, seed: int = 0) -> Graph:
+    """Lower a JSON-able model description to an IR graph.
+
+    Layers without inline ``weights`` get seeded random parameters
+    (latency/size do not depend on the values).
+    """
+    return _Importer(desc, seed).run()

@@ -1,0 +1,26 @@
+"""MLPerf Tiny v1.0 model zoo + single-layer benchmark workloads."""
+
+from .dscnn import dscnn
+from .mobilenet import mobilenet_v1
+from .resnet import resnet8
+from .toyadmos import toyadmos_dae
+from .random_net import RandomNetConfig, random_cnn
+from .layers import (
+    fig4_layers, fig5_analog_conv_channel, fig5_analog_conv_spatial,
+    fig5_digital_conv_spatial, fig5_digital_dwconv, fig5_digital_fc_channel,
+)
+
+#: the MLPerf Tiny suite, keyed by the names used in Tables I-II.
+MLPERF_TINY = {
+    "dscnn": dscnn,
+    "mobilenet": mobilenet_v1,
+    "resnet": resnet8,
+    "toyadmos": toyadmos_dae,
+}
+
+__all__ = [
+    "dscnn", "mobilenet_v1", "resnet8", "toyadmos_dae", "MLPERF_TINY",
+    "fig4_layers", "fig5_analog_conv_channel", "fig5_analog_conv_spatial",
+    "fig5_digital_conv_spatial", "fig5_digital_dwconv",
+    "fig5_digital_fc_channel", "RandomNetConfig", "random_cnn",
+]

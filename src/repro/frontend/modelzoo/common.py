@@ -1,0 +1,78 @@
+"""Shared machinery for building quantized MLPerf Tiny models."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ...ir import GraphBuilder, Node
+from ..quantize import INT8, layer_quant
+
+
+class QuantNetBuilder:
+    """GraphBuilder wrapper that applies a precision policy per layer.
+
+    Tracks the index of each accelerator-eligible MAC layer so the
+    mixed policy can pin the first/last layers to 8-bit (digital).
+    """
+
+    def __init__(self, name: str, precision: str, num_eligible: int,
+                 seed: int = 0):
+        self.b = GraphBuilder(name=name, seed=seed)
+        self.precision = precision
+        self.num_eligible = num_eligible
+        self._idx = 0
+
+    @property
+    def act_dtype(self) -> str:
+        return "int8" if self.precision == INT8 else "int7"
+
+    def input(self, name: str, shape) -> Node:
+        return self.b.input(name, shape, self.act_dtype)
+
+    def _next_quant(self, depthwise: bool):
+        q = layer_quant(self.precision, self._idx, self.num_eligible,
+                        depthwise)
+        self._idx += 1
+        return q
+
+    def conv(self, x: Node, out_channels: int, kernel=3, strides=1,
+             padding=0, relu: bool = True) -> Node:
+        q = self._next_quant(depthwise=False)
+        shift = 4 if q.weight_dtype == "ternary" else 8
+        return self.b.conv2d_requant(
+            x, out_channels, kernel=kernel, strides=strides, padding=padding,
+            shift=shift, relu=relu, weight_dtype=q.weight_dtype,
+            out_dtype=q.act_dtype,
+        )
+
+    def dwconv(self, x: Node, kernel=3, strides=1, padding=1,
+               relu: bool = True) -> Node:
+        q = self._next_quant(depthwise=True)
+        c = x.shape[1]
+        return self.b.conv2d_requant(
+            x, out_channels=c, kernel=kernel, strides=strides,
+            padding=padding, groups=c, shift=8, relu=relu,
+            weight_dtype=q.weight_dtype, out_dtype=q.act_dtype,
+        )
+
+    def dense(self, x: Node, out_features: int, relu: bool = False,
+              last: bool = False) -> Node:
+        q = self._next_quant(depthwise=False)
+        shift = 4 if q.weight_dtype == "ternary" else 8
+        return self.b.dense_requant(
+            x, out_features, shift=shift, relu=relu,
+            weight_dtype=q.weight_dtype,
+            out_dtype="int8" if last else q.act_dtype,
+        )
+
+    def residual_add(self, lhs: Node, rhs: Node, relu: bool = True) -> Node:
+        return self.b.add_requant(lhs, rhs, shift=1, relu=relu,
+                                  out_dtype=self.act_dtype)
+
+    def finish(self, out: Node):
+        graph = self.b.finish(out)
+        if self._idx != self.num_eligible:
+            raise AssertionError(
+                f"{graph.name}: declared {self.num_eligible} eligible "
+                f"layers, built {self._idx}")
+        return graph

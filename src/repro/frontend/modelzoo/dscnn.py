@@ -1,0 +1,32 @@
+"""DS-CNN — MLPerf Tiny keyword spotting (audio CNN).
+
+Topology per the MLPerf Tiny v1.0 reference: a strided input
+convolution over the 49x10 MFCC spectrogram followed by four
+depthwise-separable blocks at 64 channels, global average pooling and a
+12-way classifier. Per the paper's Table I footnote, the input filter
+size is adapted to [7, 5].
+"""
+
+from __future__ import annotations
+
+from ..quantize import INT8
+from .common import QuantNetBuilder
+
+#: eligible MAC layers: conv1 + 4x(dw + pw) + fc
+NUM_ELIGIBLE = 10
+
+
+def dscnn(precision: str = INT8, seed: int = 0):
+    """Build DS-CNN; input (1, 1, 49, 10), output 12-way softmax."""
+    nb = QuantNetBuilder("dscnn", precision, NUM_ELIGIBLE, seed=seed)
+    x = nb.input("data", (1, 1, 49, 10))
+    # input conv: 64 filters [7, 5], stride 2, 'same'-style padding
+    x = nb.conv(x, 64, kernel=(7, 5), strides=(2, 2), padding=(3, 2))
+    for _ in range(4):
+        x = nb.dwconv(x, kernel=3, strides=1, padding=1)
+        x = nb.conv(x, 64, kernel=1)
+    x = nb.b.global_avg_pool2d(x)
+    x = nb.b.flatten(x)
+    x = nb.dense(x, 12, last=True)
+    x = nb.b.softmax(x)
+    return nb.finish(x)

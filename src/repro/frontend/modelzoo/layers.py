@@ -1,0 +1,70 @@
+"""Single-layer workloads for the Fig. 4 and Fig. 5 experiments.
+
+Fig. 4 benchmarks four convolutional layers of increasing size (their
+MAC counts and parameter sizes are printed in the figure); Fig. 5
+sweeps layer *geometries* — scaling channels or the spatial dimension —
+for Conv2D, FC and DWConv2D on both accelerators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...dory.layer_spec import LayerSpec, make_conv_spec, make_dense_spec
+
+
+def fig4_layers() -> List[LayerSpec]:
+    """The paper's L0..L3: 3x3 convs on 32x32 maps.
+
+    Channel counts reproduce the printed characteristics exactly:
+    L0 2.36 MMAC / 2.25 kB, L1 9.44 MMAC / 9 kB, L2 18.9 MMAC / 18 kB,
+    L3 75.5 MMAC / 72 kB.
+    """
+    dims = [("L0", 16, 16), ("L1", 32, 32), ("L2", 32, 64), ("L3", 64, 128)]
+    return [
+        make_conv_spec(name, c, k, iy=32, ix=32, fy=3, fx=3, padding=(1, 1))
+        for name, c, k in dims
+    ]
+
+
+def fig5_digital_conv_spatial() -> List[LayerSpec]:
+    """Digital Conv2D, spatial scaling (fixed 32 channels)."""
+    return [
+        make_conv_spec(f"dig_conv_s{s}", 32, 32, iy=s, ix=s, padding=(1, 1))
+        for s in (8, 16, 24, 32, 48, 64)
+    ]
+
+
+def fig5_digital_fc_channel() -> List[LayerSpec]:
+    """Digital FC, channel scaling."""
+    return [
+        make_dense_spec(f"dig_fc_c{c}", c, c)
+        for c in (16, 32, 64, 128, 256, 512, 640)
+    ]
+
+
+def fig5_digital_dwconv() -> List[LayerSpec]:
+    """Digital DWConv2D, channel scaling (fixed 16x16 maps)."""
+    return [
+        make_conv_spec(f"dig_dw_c{c}", c, c, iy=16, ix=16, padding=(1, 1),
+                       depthwise=True)
+        for c in (16, 32, 64, 128, 256)
+    ]
+
+
+def fig5_analog_conv_channel() -> List[LayerSpec]:
+    """Analog Conv2D, channel scaling (fixed 16x16 maps, ternary)."""
+    return [
+        make_conv_spec(f"ana_conv_c{c}", c, c, iy=16, ix=16, padding=(1, 1),
+                       weight_dtype="ternary")
+        for c in (8, 16, 32, 64, 128)
+    ]
+
+
+def fig5_analog_conv_spatial() -> List[LayerSpec]:
+    """Analog Conv2D, spatial scaling (fixed 32 channels, ternary)."""
+    return [
+        make_conv_spec(f"ana_conv_s{s}", 32, 32, iy=s, ix=s, padding=(1, 1),
+                       weight_dtype="ternary")
+        for s in (8, 16, 32, 64, 96)
+    ]

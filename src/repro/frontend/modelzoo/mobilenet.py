@@ -1,0 +1,36 @@
+"""MobileNetV1 0.25x — MLPerf Tiny visual wake words (person detection).
+
+Standard MobileNetV1 with width multiplier 0.25 on 96x96x3 inputs: a
+strided input convolution then 13 depthwise-separable blocks, global
+average pooling and a binary classifier.
+"""
+
+from __future__ import annotations
+
+from ..quantize import INT8
+from .common import QuantNetBuilder
+
+#: (pointwise output channels, depthwise stride) per separable block
+_BLOCKS = [
+    (16, 1), (32, 2), (32, 1), (64, 2), (64, 1),
+    (128, 2), (128, 1), (128, 1), (128, 1), (128, 1), (128, 1),
+    (256, 2), (256, 1),
+]
+
+#: eligible MAC layers: conv1 + 13x(dw + pw) + fc
+NUM_ELIGIBLE = 1 + 2 * len(_BLOCKS) + 1
+
+
+def mobilenet_v1(precision: str = INT8, seed: int = 0):
+    """Build MobileNetV1-0.25; input (1, 3, 96, 96), 2-way softmax."""
+    nb = QuantNetBuilder("mobilenet_v1", precision, NUM_ELIGIBLE, seed=seed)
+    x = nb.input("data", (1, 3, 96, 96))
+    x = nb.conv(x, 8, kernel=3, strides=2, padding=1)
+    for out_ch, stride in _BLOCKS:
+        x = nb.dwconv(x, kernel=3, strides=stride, padding=1)
+        x = nb.conv(x, out_ch, kernel=1)
+    x = nb.b.global_avg_pool2d(x)
+    x = nb.b.flatten(x)
+    x = nb.dense(x, 2, last=True)
+    x = nb.b.softmax(x)
+    return nb.finish(x)

@@ -1,0 +1,90 @@
+"""Random quantized CNN generator for stress testing.
+
+Generates structurally valid quantized networks (conv / depthwise /
+pooling / residual / dense stages with coherent shapes and precision
+chains) from a seed. Used by the property-based integration tests: a
+compiler bug that only shows up for unusual layer compositions is far
+more likely to be caught by a thousand random topologies than by four
+fixed benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...ir import Graph, GraphBuilder, Node
+
+
+@dataclass
+class RandomNetConfig:
+    """Knobs bounding the generated topologies."""
+
+    min_stages: int = 2
+    max_stages: int = 6
+    max_channels: int = 32
+    input_hw: int = 16
+    input_channels: int = 3
+    precision: str = "int8"        #: "int8" or "int7" activation chains
+    allow_residual: bool = True
+    allow_depthwise: bool = True
+    classifier_classes: int = 10
+
+
+def random_cnn(seed: int, config: Optional[RandomNetConfig] = None) -> Graph:
+    """Build a random but valid quantized CNN from ``seed``."""
+    cfg = config or RandomNetConfig()
+    rng = np.random.default_rng(seed)
+    act = cfg.precision
+    b = GraphBuilder(name=f"random_cnn_{seed}", seed=seed)
+    x: Node = b.input("data", (1, cfg.input_channels, cfg.input_hw,
+                               cfg.input_hw), act)
+
+    def qconv(inp, out_ch, kernel, strides, padding, groups=1):
+        return b.conv2d_requant(
+            inp, out_ch, kernel=kernel, strides=strides, padding=padding,
+            groups=groups, shift=int(rng.integers(4, 10)),
+            relu=bool(rng.integers(0, 2)), out_dtype=act)
+
+    stages = int(rng.integers(cfg.min_stages, cfg.max_stages + 1))
+    for _ in range(stages):
+        c = x.shape[1]
+        hw = x.shape[2]
+        choices = ["conv3", "conv1"]
+        if cfg.allow_depthwise:
+            choices.append("dw")
+        if hw >= 4:
+            choices.append("pool")
+        if cfg.allow_residual and hw >= 2:
+            choices.append("residual")
+        kind = rng.choice(choices)
+
+        if kind == "conv3" and hw >= 3:
+            out_ch = int(rng.integers(1, cfg.max_channels + 1))
+            stride = int(rng.choice([1, 2])) if hw >= 6 else 1
+            x = qconv(x, out_ch, 3, stride, 1)
+        elif kind == "conv1":
+            out_ch = int(rng.integers(1, cfg.max_channels + 1))
+            x = qconv(x, out_ch, 1, 1, 0)
+        elif kind == "dw" and hw >= 3:
+            x = qconv(x, c, 3, 1, 1, groups=c)
+        elif kind == "pool":
+            if rng.integers(0, 2):
+                x = b.max_pool2d(x, 2)
+            else:
+                x = b.avg_pool2d(x, 2)
+        elif kind == "residual":
+            y = qconv(x, c, 3, 1, 1) if hw >= 3 else qconv(x, c, 1, 1, 0)
+            x = b.add_requant(x, y, shift=1,
+                              relu=bool(rng.integers(0, 2)),
+                              out_dtype=act)
+        else:
+            x = qconv(x, c, 1, 1, 0)
+
+    x = b.global_avg_pool2d(x)
+    x = b.flatten(x)
+    x = b.dense_requant(x, cfg.classifier_classes)
+    x = b.softmax(x)
+    return b.finish(x)

@@ -1,0 +1,41 @@
+"""ResNet-8 — MLPerf Tiny CIFAR-10 image classification.
+
+Three residual stacks (16, 32, 64 channels) of two 3x3 convolutions
+each; the 32- and 64-channel stacks downsample with stride 2 and use a
+1x1 convolution on the shortcut. Global average pooling feeds a 10-way
+classifier. Total ~12.5 MMACs, matching the paper's 112x/120x speed-up
+baseline workload.
+"""
+
+from __future__ import annotations
+
+from ..quantize import INT8
+from .common import QuantNetBuilder
+
+#: eligible MAC layers: conv1 + 3 stacks x (2 conv [+1 downsample]) + fc
+NUM_ELIGIBLE = 1 + 2 + 3 + 3 + 1
+
+
+def resnet8(precision: str = INT8, seed: int = 0):
+    """Build ResNet-8; input (1, 3, 32, 32), 10-way softmax."""
+    nb = QuantNetBuilder("resnet8", precision, NUM_ELIGIBLE, seed=seed)
+    x = nb.input("data", (1, 3, 32, 32))
+    x = nb.conv(x, 16, kernel=3, strides=1, padding=1)
+
+    # stack 1: identity shortcut
+    y = nb.conv(x, 16, kernel=3, padding=1)
+    y = nb.conv(y, 16, kernel=3, padding=1, relu=False)
+    x = nb.residual_add(x, y)
+
+    # stacks 2 and 3: strided, 1x1 conv shortcut
+    for channels in (32, 64):
+        y = nb.conv(x, channels, kernel=3, strides=2, padding=1)
+        y = nb.conv(y, channels, kernel=3, padding=1, relu=False)
+        shortcut = nb.conv(x, channels, kernel=1, strides=2, relu=False)
+        x = nb.residual_add(shortcut, y)
+
+    x = nb.b.global_avg_pool2d(x)
+    x = nb.b.flatten(x)
+    x = nb.dense(x, 10, last=True)
+    x = nb.b.softmax(x)
+    return nb.finish(x)

@@ -1,0 +1,29 @@
+"""ToyAdmos Deep Auto-Encoder — MLPerf Tiny anomaly detection.
+
+The MLPerf Tiny reference DAE: 640 input features (five stacked frames
+of 128 log-mel bins), four 128-unit encoder layers, an 8-unit
+bottleneck, four 128-unit decoder layers and a 640-unit reconstruction
+output. All layers are fully connected (~264 k parameters), making this
+the FC-dominated workload of Table I.
+"""
+
+from __future__ import annotations
+
+from ..quantize import INT8
+from .common import QuantNetBuilder
+
+#: eligible MAC layers: 4 encoder + bottleneck + 4 decoder + output
+NUM_ELIGIBLE = 10
+
+
+def toyadmos_dae(precision: str = INT8, seed: int = 0):
+    """Build the ToyAdmos DAE; input (1, 640), output (1, 640)."""
+    nb = QuantNetBuilder("toyadmos_dae", precision, NUM_ELIGIBLE, seed=seed)
+    x = nb.input("data", (1, 640))
+    for _ in range(4):
+        x = nb.dense(x, 128, relu=True)
+    x = nb.dense(x, 8, relu=True)
+    for _ in range(4):
+        x = nb.dense(x, 128, relu=True)
+    x = nb.dense(x, 640, last=True)
+    return nb.finish(x)

@@ -1,0 +1,65 @@
+"""Quantization precision policies for model construction.
+
+The paper deploys each MLPerf Tiny network in several precision
+configurations (Table I):
+
+* **int8** — all weights 8-bit: every eligible layer can go to the
+  digital accelerator.
+* **ternary** — conv/FC weights ternary with 7-bit activations: eligible
+  layers go to the analog accelerator; depthwise layers (unsupported by
+  the analog core) keep 8-bit weights and fall back to the CPU.
+* **mixed** — "The first and last accelerator-eligible layers and all
+  DWConv2D layers are executed digitally, remaining Conv2D's are
+  executed on the analog core" (Sec. IV-C): realized here as a
+  mixed-precision model, since DIANA's dispatch rule keys on weight
+  bit-width.
+
+Because the dispatcher selects targets purely from dtypes, the same
+compiler flow handles all three variants — exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import UnsupportedError
+
+INT8 = "int8"
+TERNARY = "ternary"
+MIXED = "mixed"
+
+PRECISIONS = (INT8, TERNARY, MIXED)
+
+
+@dataclass(frozen=True)
+class LayerQuant:
+    """Chosen dtypes for one MAC layer."""
+
+    weight_dtype: str
+    act_dtype: str    #: output activation dtype ("int8" or "int7")
+
+
+def layer_quant(precision: str, index: int, num_eligible: int,
+                depthwise: bool = False) -> LayerQuant:
+    """Decide weight/activation dtypes for eligible layer ``index``.
+
+    Args:
+        precision: one of :data:`PRECISIONS`.
+        index: position among the network's accelerator-eligible MAC
+            layers (0-based).
+        num_eligible: total count of eligible MAC layers.
+        depthwise: whether this layer is a depthwise convolution.
+    """
+    if precision == INT8:
+        return LayerQuant("int8", "int8")
+    if precision == TERNARY:
+        # DW unsupported on the analog core -> stays 8-bit on the CPU,
+        # but activations remain 7-bit so neighbouring analog layers
+        # receive in-range inputs.
+        return LayerQuant("int8" if depthwise else "ternary", "int7")
+    if precision == MIXED:
+        digital = depthwise or index == 0 or index == num_eligible - 1
+        return LayerQuant("int8" if digital else "ternary", "int7")
+    raise UnsupportedError(f"unknown precision {precision!r}; "
+                           f"expected one of {PRECISIONS}")

@@ -1,0 +1,197 @@
+"""Fluent graph construction API.
+
+The builder mirrors how the paper's quantized TFLite/ONNX graphs look
+after TVM ingestion: integer tensors with explicit requantization chains
+(``conv2d`` → ``bias_add`` → ``right_shift`` → ``clip`` → ``cast``).
+
+Example::
+
+    b = GraphBuilder()
+    x = b.input("data", (1, 3, 32, 32), "int8")
+    y = b.conv2d_requant(x, out_channels=16, kernel=3, padding=(1, 1),
+                         shift=8, relu=True, rng=rng)
+    g = b.finish(y)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import IRError
+from .dtypes import dtype as _dtype
+from .graph import Graph
+from .node import Call, Constant, Node, Var
+from .tensor import ConstantTensor, TensorType, random_constant
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(v: IntPair) -> Tuple[int, int]:
+    if isinstance(v, (tuple, list)):
+        if len(v) != 2:
+            raise IRError(f"expected int or pair, got {v!r}")
+        return int(v[0]), int(v[1])
+    return int(v), int(v)
+
+
+class GraphBuilder:
+    """Builds a :class:`~repro.ir.graph.Graph` incrementally."""
+
+    def __init__(self, name: str = "main", seed: int = 0):
+        self.name = name
+        self._inputs = []
+        self.rng = np.random.default_rng(seed)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def input(self, name: str, shape: Sequence[int], dt: str = "int8") -> Var:
+        var = Var(name, TensorType(tuple(shape), _dtype(dt)))
+        self._inputs.append(var)
+        return var
+
+    def const(self, data, dt: str = "int8") -> Constant:
+        return Constant(ConstantTensor(np.asarray(data), dt))
+
+    def random_weight(self, shape: Sequence[int], dt: str = "int8") -> Constant:
+        return Constant(random_constant(self.rng, tuple(shape), dt))
+
+    # -- raw calls ------------------------------------------------------------
+
+    def call(self, op: str, inputs, **attrs) -> Call:
+        return Call(op, inputs, attrs)
+
+    # -- quantized layer macros ------------------------------------------------
+
+    def requantize(self, acc: Node, shift: int, relu: bool, out_dt: str = "int8"):
+        """The standard requantization tail of a quantized layer.
+
+        Matches the paper's Listing 1: ``right_shift`` → ``clip`` →
+        ``cast(int8)`` with an optional extra ``clip`` acting as ReLU.
+        """
+        dt = _dtype(out_dt)
+        shifted = self.call(
+            "right_shift", [acc, self.const(np.int32(shift), "int32")]
+        )
+        clipped = self.call("clip", [shifted], a_min=dt.min_value, a_max=dt.max_value)
+        casted = self.call("cast", [clipped], dtype=out_dt)
+        if relu:
+            casted = self.call("clip", [casted], a_min=0, a_max=dt.max_value)
+        return casted
+
+    def conv2d_requant(
+        self,
+        data: Node,
+        out_channels: int,
+        kernel: IntPair = 3,
+        strides: IntPair = 1,
+        padding: IntPair = 0,
+        groups: int = 1,
+        shift: int = 8,
+        relu: bool = True,
+        weight_dtype: str = "int8",
+        out_dtype: str = "int8",
+        weight: Optional[Constant] = None,
+        bias: Optional[Constant] = None,
+    ) -> Call:
+        """Quantized Conv2D with bias and requantization."""
+        fh, fw = _pair(kernel)
+        c = data.shape[1]
+        if weight is None:
+            weight = self.random_weight(
+                (out_channels, c // groups, fh, fw), weight_dtype
+            )
+        if bias is None:
+            bias = Constant(ConstantTensor(
+                self.rng.integers(-(1 << 12), 1 << 12, size=out_channels,
+                                  dtype=np.int64).astype(np.int32),
+                "int32",
+            ))
+        conv = self.call(
+            "nn.conv2d", [data, weight],
+            strides=_pair(strides), padding=_pair(padding),
+            groups=groups, out_dtype="int32",
+        )
+        biased = self.call("nn.bias_add", [conv, bias], axis=1)
+        return self.requantize(biased, shift, relu, out_dtype)
+
+    def dwconv2d_requant(self, data: Node, kernel: IntPair = 3,
+                         strides: IntPair = 1, padding: IntPair = 0,
+                         shift: int = 8, relu: bool = True,
+                         weight_dtype: str = "int8") -> Call:
+        """Depthwise Conv2D (groups == channels) with requantization."""
+        c = data.shape[1]
+        return self.conv2d_requant(
+            data, out_channels=c, kernel=kernel, strides=strides,
+            padding=padding, groups=c, shift=shift, relu=relu,
+            weight_dtype=weight_dtype,
+        )
+
+    def dense_requant(self, data: Node, out_features: int, shift: int = 8,
+                      relu: bool = False, weight_dtype: str = "int8",
+                      out_dtype: str = "int8",
+                      weight: Optional[Constant] = None,
+                      bias: Optional[Constant] = None) -> Call:
+        """Quantized fully-connected layer with requantization."""
+        c = data.shape[1]
+        if weight is None:
+            weight = self.random_weight((out_features, c), weight_dtype)
+        if bias is None:
+            bias = Constant(ConstantTensor(
+                self.rng.integers(-(1 << 12), 1 << 12, size=out_features,
+                                  dtype=np.int64).astype(np.int32),
+                "int32",
+            ))
+        fc = self.call("nn.dense", [data, weight], out_dtype="int32")
+        biased = self.call("nn.bias_add", [fc, bias], axis=1)
+        return self.requantize(biased, shift, relu, out_dtype)
+
+    def add_requant(self, lhs: Node, rhs: Node, shift: int = 1,
+                    relu: bool = False, out_dtype: str = "int8") -> Call:
+        """Residual addition with requantization (int8 + int8 -> int8)."""
+        widened = self.call("add", [lhs, rhs], out_dtype="int32")
+        return self.requantize(widened, shift, relu, out_dtype)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def avg_pool2d(self, data: Node, pool: IntPair, strides: IntPair = None,
+                   padding: IntPair = 0) -> Call:
+        pool = _pair(pool)
+        strides = pool if strides is None else _pair(strides)
+        return self.call("nn.avg_pool2d", [data],
+                         pool_size=pool, strides=strides, padding=_pair(padding))
+
+    def max_pool2d(self, data: Node, pool: IntPair, strides: IntPair = None,
+                   padding: IntPair = 0) -> Call:
+        pool = _pair(pool)
+        strides = pool if strides is None else _pair(strides)
+        return self.call("nn.max_pool2d", [data],
+                         pool_size=pool, strides=strides, padding=_pair(padding))
+
+    def global_avg_pool2d(self, data: Node) -> Call:
+        return self.call("nn.global_avg_pool2d", [data])
+
+    def flatten(self, data: Node) -> Call:
+        return self.call("nn.batch_flatten", [data])
+
+    def reshape(self, data: Node, newshape: Sequence[int]) -> Call:
+        return self.call("reshape", [data], newshape=tuple(newshape))
+
+    def softmax(self, data: Node) -> Call:
+        return self.call("nn.softmax", [data])
+
+    def concatenate(self, lhs: Node, rhs: Node, axis: int = 1) -> Call:
+        return self.call("concatenate", [lhs, rhs], axis=axis)
+
+    def sigmoid(self, data: Node, scale_bits: int = 4) -> Call:
+        """int8 LUT sigmoid activation."""
+        return self.call("nn.sigmoid_lut", [data], scale_bits=scale_bits)
+
+    def tanh(self, data: Node, scale_bits: int = 4) -> Call:
+        """int8 LUT tanh activation."""
+        return self.call("nn.tanh_lut", [data], scale_bits=scale_bits)
+
+    def finish(self, output: Node) -> Graph:
+        """Seal the builder into an immutable graph."""
+        return Graph(self._inputs, output, name=self.name)

@@ -1,0 +1,74 @@
+"""Graphviz DOT export of IR graphs.
+
+Renders a (possibly partitioned) graph in the style of the paper's
+Fig. 1: CPU-fused kernels in red, digital-accelerator composites in
+green, analog composites in blue. The output is plain DOT text —
+feed it to ``dot -Tpng`` or any online renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .graph import Graph
+from .node import Call, Composite, Constant, Node, Var
+
+_TARGET_COLORS = {
+    "cpu": "#f4cccc",          # red-ish: TVM's native CPU path
+    "soc.digital": "#d9ead3",  # green: BYOC DORY digital
+    "soc.analog": "#cfe2f3",   # blue: BYOC DORY analog
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def graph_to_dot(graph: Graph, include_constants: bool = False) -> str:
+    """Render ``graph`` as Graphviz DOT text."""
+    lines = [
+        f'digraph "{_escape(graph.name)}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, fontsize=10, style=filled, fillcolor=white];',
+    ]
+    names: Dict[int, str] = {}
+
+    for i, node in enumerate(graph.topo_order()):
+        nid = f"n{i}"
+        names[node.node_id] = nid
+        if isinstance(node, Var):
+            lines.append(
+                f'  {nid} [label="{_escape(node.name)}\\n{node.ttype}", '
+                f'shape=ellipse, fillcolor="#fff2cc"];')
+        elif isinstance(node, Constant):
+            if not include_constants:
+                continue
+            lines.append(
+                f'  {nid} [label="const\\n{node.ttype}", '
+                f'shape=note, fillcolor="#eeeeee"];')
+        elif isinstance(node, Composite):
+            color = _TARGET_COLORS.get(node.target, "#e6e6e6")
+            ops = "+".join(c.op.split(".")[-1] for c in node.body.calls())
+            lines.append(
+                f'  {nid} [label="{_escape(node.pattern_name)}\\n'
+                f'[{_escape(ops)}]\\n@{node.target} out {node.ttype}", '
+                f'fillcolor="{color}"];')
+        elif isinstance(node, Call):
+            lines.append(
+                f'  {nid} [label="{_escape(node.op)}\\n{node.ttype}"];')
+
+    for node in graph.topo_order():
+        if isinstance(node, Constant) and not include_constants:
+            continue
+        for inp in node.inputs:
+            if isinstance(inp, Constant) and not include_constants:
+                continue
+            lines.append(f"  {names[inp.node_id]} -> {names[node.node_id]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_dot(graph: Graph, path: str, include_constants: bool = False):
+    """Write the DOT rendering to ``path``."""
+    with open(path, "w") as f:
+        f.write(graph_to_dot(graph, include_constants=include_constants))

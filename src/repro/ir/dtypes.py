@@ -1,0 +1,109 @@
+"""Data types used by the quantized IR.
+
+TinyML accelerators care about narrow integer types that numpy does not
+natively distinguish (e.g. 7-bit activations and ternary weights on
+DIANA's analog in-memory-compute macro). :class:`DataType` therefore
+carries both a *logical* bit-width (used for range checking, dispatch
+rules and binary-size accounting) and a *storage* numpy dtype (used by
+the functional simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IRError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A logical tensor element type.
+
+    Attributes:
+        name: canonical type name, e.g. ``"int8"`` or ``"ternary"``.
+        bits: logical bit-width used for range checks and dispatch rules.
+        storage_bits: bits used when the tensor is stored in device
+            memory (may be smaller than the numpy container, e.g. 2 bits
+            for ternary weights packed four-per-byte).
+        np_dtype: numpy dtype string used for in-simulator computation.
+        signed: whether the logical range is signed.
+    """
+
+    name: str
+    bits: int
+    storage_bits: int
+    np_dtype: str
+    signed: bool = True
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable logical value."""
+        if self.name == "ternary":
+            return -1
+        if self.signed:
+            return -(1 << (self.bits - 1))
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable logical value."""
+        if self.name == "ternary":
+            return 1
+        if self.signed:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    def to_numpy(self) -> np.dtype:
+        """The numpy dtype that holds this logical type in simulation."""
+        return np.dtype(self.np_dtype)
+
+    def storage_bytes(self, num_elements: int) -> int:
+        """Bytes needed to store ``num_elements`` values, packed."""
+        return (num_elements * self.storage_bits + 7) // 8
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: 8-bit signed activations and weights (digital accelerator, CPU).
+INT8 = DataType("int8", 8, 8, "int8")
+#: 7-bit signed activations (analog accelerator inputs).
+INT7 = DataType("int7", 7, 8, "int8")
+#: 16-bit signed intermediate.
+INT16 = DataType("int16", 16, 16, "int16")
+#: 32-bit accumulators and biases.
+INT32 = DataType("int32", 32, 32, "int32")
+#: Ternary weights {-1, 0, +1}, stored 2 bits each (analog accelerator).
+TERNARY = DataType("ternary", 2, 2, "int8")
+#: 32-bit float, only used by the final softmax on the CPU.
+FLOAT32 = DataType("float32", 32, 32, "float32", signed=True)
+
+_REGISTRY = {
+    dt.name: dt for dt in (INT8, INT7, INT16, INT32, TERNARY, FLOAT32)
+}
+
+
+def dtype(name: str) -> DataType:
+    """Look up a :class:`DataType` by canonical name.
+
+    Raises:
+        IRError: if ``name`` is not a registered data type.
+    """
+    if isinstance(name, DataType):
+        return name
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise IRError(f"unknown dtype {name!r}; known: {sorted(_REGISTRY)}")
+
+
+def all_dtypes() -> tuple:
+    """All registered data types, in a stable order."""
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def is_integer(dt: DataType) -> bool:
+    """True for any integer (including ternary) data type."""
+    return dt.name != "float32"

@@ -1,0 +1,156 @@
+"""The dataflow :class:`Graph` plus traversal and rewriting utilities.
+
+A graph is a single-output DAG (MLPerf Tiny models are single-output;
+multi-output would be a straightforward extension using a tuple node).
+Graphs are *rebuilt*, never mutated in place: transforms map old nodes to
+new nodes via :func:`rewrite`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import IRError
+from .node import Call, Composite, Constant, Node, Var
+
+
+class Graph:
+    """A single-output dataflow graph."""
+
+    def __init__(self, inputs: Iterable[Var], output: Node, name: str = "main"):
+        self.inputs = list(inputs)
+        self.output = output
+        self.name = name
+        for v in self.inputs:
+            if not isinstance(v, Var):
+                raise IRError(f"graph input must be Var, got {v!r}")
+        self.validate()
+
+    # -- traversal ----------------------------------------------------------
+
+    def topo_order(self) -> List[Node]:
+        """Nodes in dependency order (inputs before users), output last."""
+        order: List[Node] = []
+        seen = set()
+
+        def visit(node: Node):
+            stack = [(node, False)]
+            while stack:
+                cur, expanded = stack.pop()
+                if cur.node_id in seen and not expanded:
+                    continue
+                if expanded:
+                    order.append(cur)
+                    continue
+                seen.add(cur.node_id)
+                stack.append((cur, True))
+                for inp in reversed(cur.inputs):
+                    if inp.node_id not in seen:
+                        stack.append((inp, False))
+
+        visit(self.output)
+        return order
+
+    def nodes(self) -> List[Node]:
+        return self.topo_order()
+
+    def calls(self) -> List[Call]:
+        """All operator calls, in topological order."""
+        return [n for n in self.topo_order() if isinstance(n, Call)]
+
+    def composites(self) -> List[Composite]:
+        """All composite (pattern-extracted) nodes, in topological order."""
+        return [n for n in self.topo_order() if isinstance(n, Composite)]
+
+    def constants(self) -> List[Constant]:
+        return [n for n in self.topo_order() if isinstance(n, Constant)]
+
+    def users(self) -> Dict[int, List[Node]]:
+        """Map node_id -> list of nodes that consume it."""
+        out: Dict[int, List[Node]] = {n.node_id: [] for n in self.topo_order()}
+        for node in self.topo_order():
+            for inp in node.inputs:
+                out[inp.node_id].append(node)
+        return out
+
+    # -- validation & accounting --------------------------------------------
+
+    def validate(self):
+        """Check the graph is a well-formed DAG over its declared inputs."""
+        reachable_vars = {
+            n.node_id for n in self.topo_order() if isinstance(n, Var)
+        }
+        declared = {v.node_id for v in self.inputs}
+        undeclared = reachable_vars - declared
+        if undeclared:
+            names = [
+                n.name for n in self.topo_order()
+                if isinstance(n, Var) and n.node_id in undeclared
+            ]
+            raise IRError(f"graph {self.name}: free variables {names}")
+
+    def total_macs(self) -> int:
+        """Total MAC count over all calls and composites."""
+        total = 0
+        for node in self.topo_order():
+            if isinstance(node, (Call, Composite)):
+                total += node.macs()
+        return total
+
+    def weight_bytes(self) -> int:
+        """Packed storage bytes of all constants (incl. composite bodies)."""
+        total = 0
+        for node in self.topo_order():
+            if isinstance(node, Constant):
+                total += node.value.storage_bytes
+            elif isinstance(node, Composite):
+                total += node.body.weight_bytes()
+        return total
+
+    # -- rewriting ------------------------------------------------------------
+
+    def rewrite(self, fn: Callable[[Node, List[Node]], Optional[Node]]) -> "Graph":
+        """Rebuild the graph bottom-up.
+
+        ``fn(old_node, new_inputs)`` may return a replacement node, or
+        ``None`` to rebuild the node unchanged (with remapped inputs).
+        """
+        memo: Dict[int, Node] = {}
+
+        def remap(node: Node) -> Node:
+            if node.node_id in memo:
+                return memo[node.node_id]
+            new_inputs = [remap(i) for i in node.inputs]
+            replacement = fn(node, new_inputs)
+            if replacement is None:
+                replacement = _reconstruct(node, new_inputs)
+            memo[node.node_id] = replacement
+            return replacement
+
+        new_output = remap(self.output)
+        new_inputs = []
+        for v in self.inputs:
+            mapped = memo.get(v.node_id, v)
+            if not isinstance(mapped, Var):
+                raise IRError("rewrite may not replace a graph input Var")
+            new_inputs.append(mapped)
+        return Graph(new_inputs, new_output, name=self.name)
+
+    def __repr__(self):
+        n = len(self.topo_order())
+        return f"Graph({self.name}: {len(self.inputs)} inputs, {n} nodes)"
+
+
+def _reconstruct(node: Node, new_inputs: List[Node]) -> Node:
+    """Clone ``node`` with ``new_inputs`` (identity for leaves)."""
+    if isinstance(node, (Var, Constant)):
+        return node
+    if isinstance(node, Call):
+        if all(a is b for a, b in zip(node.inputs, new_inputs)):
+            return node
+        return Call(node.op, new_inputs, node.attrs)
+    if isinstance(node, Composite):
+        if all(a is b for a, b in zip(node.inputs, new_inputs)):
+            return node
+        return Composite(node.pattern_name, node.body, new_inputs, node.target)
+    raise IRError(f"cannot reconstruct node {node!r}")

@@ -1,0 +1,154 @@
+"""Dataflow graph nodes.
+
+The IR is a DAG of immutable-ish nodes in the style of Relay expressions:
+
+* :class:`Var` — a graph (or composite-body) input,
+* :class:`Constant` — embedded weights / biases / shift amounts,
+* :class:`Call` — application of a registered operator,
+* :class:`Composite` — a pattern-matched region extracted for BYOC
+  offload; it carries its own body graph plus the target it was
+  dispatched to (``"soc.digital"``, ``"soc.analog"``, …).
+
+Nodes are hashable by identity; structural utilities live on
+:class:`~repro.ir.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import IRError
+from .op import get_op
+from .tensor import ConstantTensor, TensorType
+
+
+class Node:
+    """Base class for all dataflow nodes."""
+
+    _counter = 0
+
+    def __init__(self, ttype: TensorType):
+        if not isinstance(ttype, TensorType):
+            raise IRError(f"node type must be TensorType, got {type(ttype)!r}")
+        self.ttype = ttype
+        Node._counter += 1
+        self.node_id = Node._counter
+
+    @property
+    def inputs(self) -> List["Node"]:
+        """Data dependencies of this node (empty for leaves)."""
+        return []
+
+    @property
+    def shape(self):
+        return self.ttype.shape
+
+    @property
+    def dtype(self):
+        return self.ttype.dtype
+
+
+class Var(Node):
+    """A named graph input."""
+
+    def __init__(self, name: str, ttype: TensorType):
+        super().__init__(ttype)
+        self.name = name
+
+    def __repr__(self):
+        return f"%{self.name}: {self.ttype}"
+
+
+class Constant(Node):
+    """A constant tensor embedded in the graph."""
+
+    def __init__(self, value: ConstantTensor):
+        if not isinstance(value, ConstantTensor):
+            value = ConstantTensor(value)
+        super().__init__(value.ttype)
+        self.value = value
+
+    def __repr__(self):
+        return f"const({self.ttype})"
+
+
+class Call(Node):
+    """Application of a registered operator to input nodes."""
+
+    def __init__(self, op_name: str, inputs, attrs: Optional[Dict] = None):
+        op = get_op(op_name)
+        inputs = list(inputs)
+        if len(inputs) != op.arity:
+            raise IRError(
+                f"{op_name}: expected {op.arity} inputs, got {len(inputs)}"
+            )
+        for i, inp in enumerate(inputs):
+            if not isinstance(inp, Node):
+                raise IRError(f"{op_name}: input {i} is not a Node: {inp!r}")
+        self.op = op_name
+        self.attrs = op.validate_attrs(dict(attrs or {}))
+        ttype = op.infer([n.ttype for n in inputs], self.attrs)
+        super().__init__(ttype)
+        self._inputs = inputs
+
+    @property
+    def inputs(self) -> List[Node]:
+        return self._inputs
+
+    def macs(self) -> int:
+        """Multiply-accumulate count of this call (0 for non-MAC ops)."""
+        op = get_op(self.op)
+        if op.macs is None:
+            return 0
+        return op.macs([n.ttype for n in self.inputs], self.ttype, self.attrs)
+
+    def __repr__(self):
+        return f"{self.op}(...) -> {self.ttype}"
+
+
+class Composite(Node):
+    """A matched operator pattern extracted into its own body graph.
+
+    Attributes:
+        pattern_name: which library pattern matched (e.g.
+            ``"diana.conv2d_requant"``).
+        target: compilation target chosen by the dispatcher
+            (``"cpu"`` until dispatch assigns an accelerator).
+        body: a :class:`~repro.ir.graph.Graph` whose Vars correspond
+            one-to-one with this node's ``inputs``. Constants consumed by
+            the matched region (weights, biases) live inside the body.
+    """
+
+    def __init__(self, pattern_name: str, body, inputs, target: str = "cpu"):
+        from .graph import Graph  # local import to avoid a cycle
+
+        if not isinstance(body, Graph):
+            raise IRError("composite body must be a Graph")
+        inputs = list(inputs)
+        if len(body.inputs) != len(inputs):
+            raise IRError(
+                f"composite {pattern_name}: body has {len(body.inputs)} params "
+                f"but {len(inputs)} inputs were supplied"
+            )
+        for param, inp in zip(body.inputs, inputs):
+            if param.ttype != inp.ttype:
+                raise IRError(
+                    f"composite {pattern_name}: param {param.name} type "
+                    f"{param.ttype} != input type {inp.ttype}"
+                )
+        super().__init__(body.output.ttype)
+        self.pattern_name = pattern_name
+        self.body = body
+        self.target = target
+        self._inputs = inputs
+
+    @property
+    def inputs(self) -> List[Node]:
+        return self._inputs
+
+    def macs(self) -> int:
+        """Total MAC count of the body."""
+        return self.body.total_macs()
+
+    def __repr__(self):
+        return f"composite[{self.pattern_name}@{self.target}] -> {self.ttype}"

@@ -1,0 +1,375 @@
+"""Operator registry and per-operator shape/dtype inference.
+
+Operators mirror the subset of TVM Relay that the paper's flow touches:
+quantized Conv2D / Dense / depthwise Conv2D with their requantization
+chains (``bias_add`` → ``right_shift`` → ``clip`` → ``cast``), elementwise
+add for residual connections, pooling, softmax, and shape plumbing.
+
+Each :class:`OpDef` bundles:
+
+* an attribute schema (names with defaults, validated at call sites),
+* a type-inference function mapping input types + attrs to output type,
+* a MAC-count function used by cost models and roofline accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from ..errors import IRError, ShapeError
+from .dtypes import DataType, INT32, dtype as _dtype
+from .tensor import TensorType
+
+
+@dataclass
+class OpDef:
+    """Definition of one IR operator."""
+
+    name: str
+    arity: int
+    attrs_schema: Dict[str, object] = field(default_factory=dict)
+    infer: Optional[Callable] = None
+    macs: Optional[Callable] = None
+    is_elementwise: bool = False
+
+    def validate_attrs(self, attrs: Dict[str, object]) -> Dict[str, object]:
+        """Merge user attrs over defaults; reject unknown keys."""
+        unknown = set(attrs) - set(self.attrs_schema)
+        if unknown:
+            raise IRError(f"{self.name}: unknown attrs {sorted(unknown)}")
+        merged = dict(self.attrs_schema)
+        merged.update(attrs)
+        missing = [k for k, v in merged.items() if v is _REQUIRED]
+        if missing:
+            raise IRError(f"{self.name}: missing required attrs {missing}")
+        return merged
+
+
+_REQUIRED = object()
+_OPS: Dict[str, OpDef] = {}
+
+
+def register_op(op: OpDef) -> OpDef:
+    if op.name in _OPS:
+        raise IRError(f"duplicate op registration: {op.name}")
+    _OPS[op.name] = op
+    return op
+
+
+def get_op(name: str) -> OpDef:
+    try:
+        return _OPS[name]
+    except KeyError:
+        raise IRError(f"unknown op {name!r}; known: {sorted(_OPS)}")
+
+
+def all_ops() -> Sequence[str]:
+    return sorted(_OPS)
+
+
+# ---------------------------------------------------------------------------
+# shape helpers
+# ---------------------------------------------------------------------------
+
+
+def conv2d_output_hw(ih, iw, fh, fw, strides, padding):
+    """Spatial output dims of a 2D convolution/pool."""
+    sh, sw = strides
+    ph, pw = padding
+    oh = (ih + 2 * ph - fh) // sh + 1
+    ow = (iw + 2 * pw - fw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"non-positive conv output {oh}x{ow} "
+            f"(in {ih}x{iw}, filter {fh}x{fw}, strides {strides}, pad {padding})"
+        )
+    return oh, ow
+
+
+def _expect_rank(t: TensorType, rank: int, what: str):
+    if t.rank != rank:
+        raise ShapeError(f"{what}: expected rank {rank}, got {t}")
+
+
+# ---------------------------------------------------------------------------
+# inference functions
+# ---------------------------------------------------------------------------
+
+
+def _infer_conv2d(inputs, attrs):
+    data, weight = inputs
+    _expect_rank(data, 4, "conv2d data")
+    _expect_rank(weight, 4, "conv2d weight")
+    n, c, ih, iw = data.shape
+    k, cg, fh, fw = weight.shape
+    groups = attrs["groups"]
+    if c % groups or k % groups:
+        raise ShapeError(f"conv2d: channels {c}/{k} not divisible by groups {groups}")
+    if cg != c // groups:
+        raise ShapeError(
+            f"conv2d: weight in-channels {cg} != data channels {c} / groups {groups}"
+        )
+    oh, ow = conv2d_output_hw(ih, iw, fh, fw, attrs["strides"], attrs["padding"])
+    return TensorType((n, k, oh, ow), _dtype(attrs["out_dtype"]))
+
+
+def _macs_conv2d(inputs, out, attrs):
+    k, cg, fh, fw = inputs[1].shape
+    _, _, oh, ow = out.shape
+    return k * cg * fh * fw * oh * ow
+
+
+def _infer_dense(inputs, attrs):
+    data, weight = inputs
+    _expect_rank(data, 2, "dense data")
+    _expect_rank(weight, 2, "dense weight")
+    n, c = data.shape
+    k, c2 = weight.shape
+    if c != c2:
+        raise ShapeError(f"dense: data features {c} != weight features {c2}")
+    return TensorType((n, k), _dtype(attrs["out_dtype"]))
+
+
+def _macs_dense(inputs, out, attrs):
+    k, c = inputs[1].shape
+    return k * c * inputs[0].shape[0]
+
+
+def _infer_bias_add(inputs, attrs):
+    data, bias = inputs
+    axis = attrs["axis"]
+    _expect_rank(bias, 1, "bias")
+    if bias.shape[0] != data.shape[axis]:
+        raise ShapeError(
+            f"bias_add: bias length {bias.shape[0]} != dim {data.shape[axis]}"
+        )
+    return data
+
+
+def _infer_elementwise_same(inputs, attrs):
+    return inputs[0]
+
+def _infer_binary_broadcastless(inputs, attrs):
+    a, b = inputs
+    if a.shape != b.shape:
+        raise ShapeError(f"elementwise: shape mismatch {a} vs {b}")
+    out_dtype = attrs.get("out_dtype")
+    if out_dtype is not None:
+        return a.with_dtype(out_dtype)
+    return a
+
+
+def _infer_right_shift(inputs, attrs):
+    return inputs[0]
+
+
+def _infer_cast(inputs, attrs):
+    return inputs[0].with_dtype(attrs["dtype"])
+
+
+def _infer_pool2d(inputs, attrs):
+    data = inputs[0]
+    _expect_rank(data, 4, "pool2d data")
+    n, c, ih, iw = data.shape
+    fh, fw = attrs["pool_size"]
+    oh, ow = conv2d_output_hw(ih, iw, fh, fw, attrs["strides"], attrs["padding"])
+    return TensorType((n, c, oh, ow), data.dtype)
+
+
+def _infer_global_avg_pool2d(inputs, attrs):
+    data = inputs[0]
+    _expect_rank(data, 4, "global_avg_pool2d data")
+    n, c, _, _ = data.shape
+    return TensorType((n, c, 1, 1), data.dtype)
+
+
+def _infer_softmax(inputs, attrs):
+    return inputs[0].with_dtype("float32")
+
+
+def _infer_reshape(inputs, attrs):
+    data = inputs[0]
+    newshape = tuple(int(d) for d in attrs["newshape"])
+    n = 1
+    for d in newshape:
+        n *= d
+    if n != data.num_elements:
+        raise ShapeError(f"reshape: {data.shape} -> {newshape} changes element count")
+    return data.with_shape(newshape)
+
+
+def _infer_flatten(inputs, attrs):
+    data = inputs[0]
+    n = data.shape[0]
+    rest = data.num_elements // n
+    return data.with_shape((n, rest))
+
+
+def _infer_pad(inputs, attrs):
+    data = inputs[0]
+    pads = attrs["pad_width"]
+    if len(pads) != data.rank:
+        raise ShapeError("pad: pad_width rank mismatch")
+    shape = tuple(d + lo + hi for d, (lo, hi) in zip(data.shape, pads))
+    return data.with_shape(shape)
+
+
+
+
+def _infer_concatenate(inputs, attrs):
+    a, b = inputs
+    axis = attrs["axis"]
+    if a.rank != b.rank:
+        raise ShapeError(f"concatenate: rank mismatch {a} vs {b}")
+    for i, (da, db) in enumerate(zip(a.shape, b.shape)):
+        if i != axis and da != db:
+            raise ShapeError(f"concatenate: dim {i} mismatch {a} vs {b}")
+    if a.dtype != b.dtype:
+        raise ShapeError(f"concatenate: dtype mismatch {a} vs {b}")
+    shape = list(a.shape)
+    shape[axis] = a.shape[axis] + b.shape[axis]
+    return a.with_shape(tuple(shape))
+
+
+def _infer_lut_activation(inputs, attrs):
+    data = inputs[0]
+    if data.dtype.bits > 8:
+        raise ShapeError("LUT activations operate on (at most) 8-bit data")
+    return data
+
+
+# ---------------------------------------------------------------------------
+# registrations
+# ---------------------------------------------------------------------------
+
+register_op(OpDef(
+    "nn.conv2d", 2,
+    attrs_schema={
+        "strides": (1, 1),
+        "padding": (0, 0),
+        "groups": 1,
+        "out_dtype": "int32",
+    },
+    infer=_infer_conv2d,
+    macs=_macs_conv2d,
+))
+
+register_op(OpDef(
+    "nn.dense", 2,
+    attrs_schema={"out_dtype": "int32"},
+    infer=_infer_dense,
+    macs=_macs_dense,
+))
+
+register_op(OpDef(
+    "nn.bias_add", 2,
+    attrs_schema={"axis": 1},
+    infer=_infer_bias_add,
+    is_elementwise=True,  # per-channel broadcast add: TVM fuses it
+))
+
+register_op(OpDef(
+    "right_shift", 2,
+    attrs_schema={"rounding": True},
+    infer=_infer_right_shift,
+    is_elementwise=True,
+))
+
+register_op(OpDef(
+    "clip", 1,
+    attrs_schema={"a_min": _REQUIRED, "a_max": _REQUIRED},
+    infer=_infer_elementwise_same,
+    is_elementwise=True,
+))
+
+register_op(OpDef(
+    "cast", 1,
+    attrs_schema={"dtype": _REQUIRED},
+    infer=_infer_cast,
+    is_elementwise=True,
+))
+
+register_op(OpDef(
+    "nn.relu", 1,
+    attrs_schema={},
+    infer=_infer_elementwise_same,
+    is_elementwise=True,
+))
+
+register_op(OpDef(
+    "add", 2,
+    attrs_schema={"out_dtype": None},
+    infer=_infer_binary_broadcastless,
+    is_elementwise=True,
+))
+
+register_op(OpDef(
+    "nn.avg_pool2d", 1,
+    attrs_schema={
+        "pool_size": _REQUIRED,
+        "strides": (1, 1),
+        "padding": (0, 0),
+    },
+    infer=_infer_pool2d,
+))
+
+register_op(OpDef(
+    "nn.max_pool2d", 1,
+    attrs_schema={
+        "pool_size": _REQUIRED,
+        "strides": (1, 1),
+        "padding": (0, 0),
+    },
+    infer=_infer_pool2d,
+))
+
+register_op(OpDef(
+    "nn.global_avg_pool2d", 1,
+    attrs_schema={},
+    infer=_infer_global_avg_pool2d,
+))
+
+register_op(OpDef(
+    "nn.softmax", 1,
+    attrs_schema={"axis": -1},
+    infer=_infer_softmax,
+))
+
+register_op(OpDef(
+    "reshape", 1,
+    attrs_schema={"newshape": _REQUIRED},
+    infer=_infer_reshape,
+))
+
+register_op(OpDef(
+    "nn.batch_flatten", 1,
+    attrs_schema={},
+    infer=_infer_flatten,
+))
+
+register_op(OpDef(
+    "nn.pad", 1,
+    attrs_schema={"pad_width": _REQUIRED, "pad_value": 0},
+    infer=_infer_pad,
+))
+
+register_op(OpDef(
+    "concatenate", 2,
+    attrs_schema={"axis": 1},
+    infer=_infer_concatenate,
+))
+
+register_op(OpDef(
+    "nn.sigmoid_lut", 1,
+    attrs_schema={"scale_bits": 4},
+    infer=_infer_lut_activation,
+    is_elementwise=True,
+))
+
+register_op(OpDef(
+    "nn.tanh_lut", 1,
+    attrs_schema={"scale_bits": 4},
+    infer=_infer_lut_activation,
+    is_elementwise=True,
+))

@@ -1,0 +1,140 @@
+"""JSON (de)serialization of IR graphs.
+
+Serves as the library's stable on-disk model format — the role TFLite /
+ONNX files play for the real HTVM. Weight payloads are stored inline as
+base64 so a model is a single self-contained JSON document.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Dict
+
+import numpy as np
+
+from ..errors import IRError
+from .graph import Graph
+from .node import Call, Composite, Constant, Node, Var
+from .tensor import ConstantTensor, TensorType
+from .dtypes import dtype as _dtype
+
+FORMAT_VERSION = 1
+
+
+def _encode_array(arr: np.ndarray) -> Dict:
+    return {
+        "shape": list(arr.shape),
+        "np_dtype": str(arr.dtype),
+        "b64": base64.b64encode(np.ascontiguousarray(arr).tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(obj: Dict) -> np.ndarray:
+    raw = base64.b64decode(obj["b64"])
+    return np.frombuffer(raw, dtype=obj["np_dtype"]).reshape(obj["shape"]).copy()
+
+
+def _attrs_to_json(attrs: Dict) -> Dict:
+    out = {}
+    for k, v in attrs.items():
+        if isinstance(v, tuple):
+            v = list(v)
+        if isinstance(v, np.integer):
+            v = int(v)
+        out[k] = v
+    return out
+
+
+def graph_to_dict(graph: Graph) -> Dict:
+    """Serialize a graph (including composite bodies) to a JSON dict."""
+    nodes = []
+    ids: Dict[int, int] = {}
+
+    for node in graph.topo_order():
+        idx = len(nodes)
+        ids[node.node_id] = idx
+        if isinstance(node, Var):
+            nodes.append({
+                "kind": "var",
+                "name": node.name,
+                "shape": list(node.shape),
+                "dtype": node.dtype.name,
+            })
+        elif isinstance(node, Constant):
+            nodes.append({
+                "kind": "const",
+                "dtype": node.dtype.name,
+                "data": _encode_array(node.value.data),
+            })
+        elif isinstance(node, Call):
+            nodes.append({
+                "kind": "call",
+                "op": node.op,
+                "inputs": [ids[i.node_id] for i in node.inputs],
+                "attrs": _attrs_to_json(node.attrs),
+            })
+        elif isinstance(node, Composite):
+            nodes.append({
+                "kind": "composite",
+                "pattern": node.pattern_name,
+                "target": node.target,
+                "inputs": [ids[i.node_id] for i in node.inputs],
+                "body": graph_to_dict(node.body),
+            })
+        else:
+            raise IRError(f"cannot serialize node {node!r}")
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": [ids[v.node_id] for v in graph.inputs],
+        "output": ids[graph.output.node_id],
+        "nodes": nodes,
+    }
+
+
+def graph_from_dict(obj: Dict) -> Graph:
+    """Deserialize a graph produced by :func:`graph_to_dict`."""
+    if obj.get("format_version") != FORMAT_VERSION:
+        raise IRError(f"unsupported model format version {obj.get('format_version')}")
+    built = []
+    for spec in obj["nodes"]:
+        kind = spec["kind"]
+        if kind == "var":
+            node: Node = Var(
+                spec["name"],
+                TensorType(tuple(spec["shape"]), _dtype(spec["dtype"])),
+            )
+        elif kind == "const":
+            node = Constant(ConstantTensor(_decode_array(spec["data"]), spec["dtype"]))
+        elif kind == "call":
+            attrs = {
+                k: tuple(v) if isinstance(v, list) else v
+                for k, v in spec["attrs"].items()
+            }
+            node = Call(spec["op"], [built[i] for i in spec["inputs"]], attrs)
+        elif kind == "composite":
+            body = graph_from_dict(spec["body"])
+            node = Composite(
+                spec["pattern"], body,
+                [built[i] for i in spec["inputs"]], spec["target"],
+            )
+        else:
+            raise IRError(f"unknown node kind {kind!r}")
+        built.append(node)
+
+    inputs = [built[i] for i in obj["inputs"]]
+    return Graph(inputs, built[obj["output"]], name=obj["name"])
+
+
+def save_graph(graph: Graph, path: str):
+    """Write a graph to ``path`` as JSON."""
+    with open(path, "w") as f:
+        json.dump(graph_to_dict(graph), f)
+
+
+def load_graph(path: str) -> Graph:
+    """Read a graph previously written by :func:`save_graph`."""
+    with open(path) as f:
+        return graph_from_dict(json.load(f))

@@ -1,0 +1,122 @@
+"""Tensor types and constant tensors.
+
+The IR is statically shaped: every node carries a :class:`TensorType`
+(shape + dtype). Constant tensors wrap a numpy array together with its
+logical :class:`~repro.ir.dtypes.DataType`, because numpy cannot express
+ternary or 7-bit values directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import IRError
+from .dtypes import DataType, dtype as _dtype
+
+
+@dataclass(frozen=True)
+class TensorType:
+    """Static type of a tensor value: shape and element dtype.
+
+    Activations use NCHW layout with N always 1 (TinyML inference is
+    single-sample); weights use OIHW (out-channels, in-channels, fy, fx).
+    """
+
+    shape: Tuple[int, ...]
+    dtype: DataType
+
+    def __post_init__(self):
+        if not all(isinstance(d, (int, np.integer)) and d > 0 for d in self.shape):
+            raise IRError(f"shape must be positive ints, got {self.shape}")
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        if isinstance(self.dtype, str):
+            object.__setattr__(self, "dtype", _dtype(self.dtype))
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes used when the tensor is stored packed in device memory."""
+        return self.dtype.storage_bytes(self.num_elements)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def with_dtype(self, dt) -> "TensorType":
+        """A copy of this type with a different element dtype."""
+        return TensorType(self.shape, _dtype(dt))
+
+    def with_shape(self, shape) -> "TensorType":
+        """A copy of this type with a different shape."""
+        return TensorType(tuple(shape), self.dtype)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{dims}:{self.dtype}"
+
+
+class ConstantTensor:
+    """A constant value (weights, biases, shift amounts) in the graph.
+
+    The payload is stored as a numpy array in the dtype's *storage*
+    container; range checking against the logical dtype happens at
+    construction so a "ternary" constant can never hold a 5.
+    """
+
+    def __init__(self, data: np.ndarray, dtype_name="int8"):
+        dt = _dtype(dtype_name)
+        raw = np.asarray(data)
+        if dt.name != "float32" and raw.size:
+            # range-check *before* narrowing, so 200 cannot silently
+            # wrap to -56 when stored as int8
+            lo, hi = dt.min_value, dt.max_value
+            if raw.min() < lo or raw.max() > hi:
+                raise IRError(
+                    f"constant values out of range for {dt.name}: "
+                    f"[{raw.min()}, {raw.max()}] not within [{lo}, {hi}]"
+                )
+        arr = raw.astype(dt.to_numpy())
+        self.data = arr
+        self.ttype = TensorType(arr.shape if arr.shape else (1,), dt)
+        if not arr.shape:
+            self.data = arr.reshape((1,))
+
+    @property
+    def dtype(self) -> DataType:
+        return self.ttype.dtype
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.ttype.shape
+
+    @property
+    def storage_bytes(self) -> int:
+        """Packed storage size of this constant."""
+        return self.ttype.storage_bytes
+
+    def __repr__(self) -> str:
+        return f"ConstantTensor({self.ttype})"
+
+
+def random_constant(rng: np.random.Generator, shape, dtype_name="int8"):
+    """A seeded random constant spanning the dtype's full logical range.
+
+    Used by the model zoo: the paper's latency/size results do not depend
+    on trained weight values, only on shapes and dtypes.
+    """
+    dt = _dtype(dtype_name)
+    if dt.name == "float32":
+        return ConstantTensor(rng.standard_normal(shape).astype("float32"), dt.name)
+    lo, hi = dt.min_value, dt.max_value
+    data = rng.integers(lo, hi + 1, size=shape, dtype=np.int64)
+    return ConstantTensor(data.astype(dt.to_numpy()), dt.name)

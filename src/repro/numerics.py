@@ -1,0 +1,200 @@
+"""Integer numpy kernels shared by every execution path.
+
+The reference executor, the CPU model, and both accelerator models all
+call these functions, so "does the tiled accelerator execution equal the
+untiled reference?" tests compare genuinely independent *schedules* over
+identical arithmetic — exactly the guarantee the real HTVM flow gives
+(same kernel semantics, different orchestration).
+
+All kernels follow TFLite-style integer semantics:
+
+* convolutions/dense accumulate in int32,
+* ``right_shift`` uses round-half-up requantization
+  (``(x + (1 << (s-1))) >> s``), as DORY's generated code does,
+* average pooling rounds to nearest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import SimulationError
+
+
+def pad_nchw(x: np.ndarray, padding, value: int = 0) -> np.ndarray:
+    """Zero-pad the two spatial dims of an NCHW tensor."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+        mode="constant", constant_values=value,
+    )
+
+
+def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
+           groups: int = 1) -> np.ndarray:
+    """Grouped 2D convolution, int32 accumulation.
+
+    Args:
+        x: NCHW input (any integer dtype).
+        w: OIHW weights; I is C/groups.
+        strides/padding: spatial.
+        groups: 1 for dense conv, C for depthwise.
+
+    Returns:
+        N x K x OH x OW int32 tensor.
+    """
+    n, c, ih, iw = x.shape
+    k, cg, fh, fw = w.shape
+    if c % groups or k % groups:
+        raise SimulationError("conv2d: channels not divisible by groups")
+    if cg != c // groups:
+        raise SimulationError("conv2d: weight/groups mismatch")
+    sh, sw = strides
+    xp = pad_nchw(x.astype(np.int32), padding)
+    oh = (xp.shape[2] - fh) // sh + 1
+    ow = (xp.shape[3] - fw) // sw + 1
+    out = np.zeros((n, k, oh, ow), dtype=np.int32)
+    w32 = w.astype(np.int32)
+    kg = k // groups
+    for g in range(groups):
+        xg = xp[:, g * cg:(g + 1) * cg]
+        wg = w32[g * kg:(g + 1) * kg]
+        acc = np.zeros((n, kg, oh, ow), dtype=np.int32)
+        for dy in range(fh):
+            for dx in range(fw):
+                patch = xg[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw]
+                # (n, cg, oh, ow) x (kg, cg) -> (n, kg, oh, ow)
+                acc += np.einsum("nchw,kc->nkhw", patch, wg[:, :, dy, dx],
+                                 dtype=np.int32)
+        out[:, g * kg:(g + 1) * kg] = acc
+    return out
+
+
+def dense(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Fully-connected layer: x[N,C] @ w[K,C]^T with int32 accumulation."""
+    return x.astype(np.int32) @ w.astype(np.int32).T
+
+
+def bias_add(x: np.ndarray, bias: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Add a per-channel bias along ``axis``."""
+    shape = [1] * x.ndim
+    shape[axis] = bias.shape[0]
+    return x.astype(np.int32) + bias.astype(np.int32).reshape(shape)
+
+
+def right_shift(x: np.ndarray, shift: int, rounding: bool = True) -> np.ndarray:
+    """Arithmetic right shift with optional round-half-up."""
+    shift = int(shift)
+    if shift < 0:
+        raise SimulationError(f"negative shift {shift}")
+    x = x.astype(np.int32)
+    if shift == 0:
+        return x
+    if rounding:
+        x = x + (np.int32(1) << np.int32(shift - 1))
+    return x >> np.int32(shift)
+
+
+def clip(x: np.ndarray, a_min: int, a_max: int) -> np.ndarray:
+    return np.clip(x, a_min, a_max)
+
+
+def cast(x: np.ndarray, np_dtype) -> np.ndarray:
+    return x.astype(np_dtype)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0)
+
+
+def add(x: np.ndarray, y: np.ndarray, out_dtype=None) -> np.ndarray:
+    dt = np.int32 if out_dtype is None else out_dtype
+    return x.astype(dt) + y.astype(dt)
+
+
+def avg_pool2d(x: np.ndarray, pool_size, strides, padding) -> np.ndarray:
+    """Integer average pooling with round-to-nearest."""
+    fh, fw = pool_size
+    sh, sw = strides
+    xp = pad_nchw(x.astype(np.int32), padding)
+    oh = (xp.shape[2] - fh) // sh + 1
+    ow = (xp.shape[3] - fw) // sw + 1
+    acc = np.zeros((x.shape[0], x.shape[1], oh, ow), dtype=np.int32)
+    for dy in range(fh):
+        for dx in range(fw):
+            acc += xp[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw]
+    count = fh * fw
+    # round-half-up for negatives too (matches DORY's emitted C)
+    return np.floor_divide(acc + count // 2, count).astype(x.dtype)
+
+
+def max_pool2d(x: np.ndarray, pool_size, strides, padding) -> np.ndarray:
+    """Max pooling; padding uses the dtype minimum so it never wins."""
+    fh, fw = pool_size
+    sh, sw = strides
+    lo = np.iinfo(x.dtype).min
+    xp = pad_nchw(x, padding, value=lo)
+    oh = (xp.shape[2] - fh) // sh + 1
+    ow = (xp.shape[3] - fw) // sw + 1
+    out = np.full((x.shape[0], x.shape[1], oh, ow), lo, dtype=x.dtype)
+    for dy in range(fh):
+        for dx in range(fw):
+            np.maximum(out, xp[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw],
+                       out=out)
+    return out
+
+
+def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
+    """Whole-feature-map integer average pool."""
+    n, c, h, w = x.shape
+    acc = x.astype(np.int32).sum(axis=(2, 3), keepdims=True)
+    count = h * w
+    return np.floor_divide(acc + count // 2, count).astype(x.dtype)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Float softmax (runs on the CPU in every DIANA configuration)."""
+    xf = x.astype(np.float32)
+    xf = xf - xf.max(axis=axis, keepdims=True)
+    e = np.exp(xf)
+    return (e / e.sum(axis=axis, keepdims=True)).astype(np.float32)
+
+
+def requantize(acc: np.ndarray, shift: int, relu_after: bool,
+               a_min: int = -128, a_max: int = 127) -> np.ndarray:
+    """The full requantization tail: shift, clip, cast int8, optional ReLU."""
+    out = clip(right_shift(acc, shift), a_min, a_max).astype(np.int8)
+    if relu_after:
+        out = np.maximum(out, 0)
+    return out
+
+
+def concatenate(x: np.ndarray, y: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Channel (or other axis) concatenation."""
+    return np.concatenate([x, y], axis=axis)
+
+
+def _lut_activation(x: np.ndarray, scale_bits: int, fn) -> np.ndarray:
+    """int8 -> int8 lookup-table activation.
+
+    Inputs are interpreted as fixed-point values ``x / 2**scale_bits``;
+    outputs are ``round(127 * fn(v))`` — the scheme TinyML runtimes use
+    to evaluate sigmoids/tanh with a 256-entry table.
+    """
+    table_in = np.arange(-128, 128, dtype=np.int32)
+    v = table_in.astype(np.float64) / (1 << scale_bits)
+    table = np.clip(np.rint(127.0 * fn(v)), -128, 127).astype(np.int8)
+    idx = x.astype(np.int32) + 128
+    return table[idx]
+
+
+def sigmoid_lut(x: np.ndarray, scale_bits: int = 4) -> np.ndarray:
+    """int8 LUT sigmoid (see :func:`_lut_activation`)."""
+    return _lut_activation(x, scale_bits, lambda v: 1.0 / (1.0 + np.exp(-v)))
+
+
+def tanh_lut(x: np.ndarray, scale_bits: int = 4) -> np.ndarray:
+    """int8 LUT tanh (see :func:`_lut_activation`)."""
+    return _lut_activation(x, scale_bits, np.tanh)

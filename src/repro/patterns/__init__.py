@@ -1,0 +1,17 @@
+"""Pattern matching and BYOC partitioning (paper Sec. III-A)."""
+
+from .lang import (
+    MatchResult, Pattern, is_constant, is_op, wildcard,
+)
+from .partition import PatternSpec, find_matches, partition
+from .library import (
+    QADD, QCONV2D, QDENSE, add_pattern, conv2d_pattern, default_specs,
+    dense_pattern,
+)
+
+__all__ = [
+    "MatchResult", "Pattern", "is_constant", "is_op", "wildcard",
+    "PatternSpec", "find_matches", "partition",
+    "QADD", "QCONV2D", "QDENSE", "add_pattern", "conv2d_pattern",
+    "default_specs", "dense_pattern",
+]

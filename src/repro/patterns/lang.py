@@ -1,0 +1,237 @@
+"""Relay-style pattern language.
+
+Reproduces the pattern constructors the paper uses in Listing 1:
+``is_op``, ``wildcard``, ``is_constant``, ``has_attr`` and ``optional``.
+A pattern is matched structurally against a dataflow node; a successful
+match yields a :class:`MatchResult` recording the interior nodes and the
+external (wildcard-bound) inputs, which the partitioner turns into a
+:class:`~repro.ir.node.Composite`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import PatternError
+from ..ir import Call, Constant, Node
+
+
+class MatchState:
+    """Mutable state accumulated during one match attempt."""
+
+    def __init__(self):
+        self.interior: List[Node] = []       # matched Call nodes
+        self.leaves: List[Node] = []         # wildcard-bound external nodes
+        self.constants: List[Constant] = []  # is_constant()-bound nodes
+
+    def snapshot(self):
+        return (len(self.interior), len(self.leaves), len(self.constants))
+
+    def rollback(self, snap):
+        i, l, c = snap
+        del self.interior[i:]
+        del self.leaves[l:]
+        del self.constants[c:]
+
+
+class MatchResult:
+    """Outcome of a successful pattern match rooted at ``root``."""
+
+    def __init__(self, root: Node, state: MatchState):
+        self.root = root
+        self.interior = list(state.interior)
+        self.constants = list(state.constants)
+        # external inputs: deduplicated, in first-seen order
+        seen = set()
+        self.inputs: List[Node] = []
+        for leaf in state.leaves:
+            if isinstance(leaf, Constant):
+                # constants stay inside the extracted body (weights/biases)
+                self.constants.append(leaf)
+                continue
+            if leaf.node_id not in seen:
+                seen.add(leaf.node_id)
+                self.inputs.append(leaf)
+
+    @property
+    def interior_ids(self):
+        return {n.node_id for n in self.interior}
+
+    def __repr__(self):
+        return (f"MatchResult(root={self.root!r}, "
+                f"{len(self.interior)} interior, {len(self.inputs)} inputs)")
+
+
+class Pattern:
+    """Base class of all patterns."""
+
+    def match(self, node: Node) -> Optional[MatchResult]:
+        """Try to match this pattern rooted at ``node``."""
+        state = MatchState()
+        if self._match(node, state):
+            return MatchResult(node, state)
+        return None
+
+    def _match(self, node: Node, state: MatchState) -> bool:
+        raise NotImplementedError
+
+    # -- combinators ----------------------------------------------------------
+
+    def optional(self, wrap: Callable[["Pattern"], "Pattern"]) -> "Pattern":
+        """Match ``wrap(self)`` if possible, else ``self``.
+
+        Mirrors Listing 1's ``cast.optional(is_op("clip")(x))`` — written
+        here as ``cast.optional(lambda x: is_op("clip")(x))``.
+        """
+        return OptionalPattern(self, wrap(self))
+
+    def has_attr(self, attrs: Dict[str, object]) -> "Pattern":
+        """Constrain attributes (or dtype via the pseudo-attr ``"dtype"``)."""
+        return AttrPattern(self, dict(attrs))
+
+
+class WildcardPattern(Pattern):
+    """Matches any node; binds it as an external input."""
+
+    def _match(self, node: Node, state: MatchState) -> bool:
+        state.leaves.append(node)
+        return True
+
+    def __repr__(self):
+        return "*"
+
+
+class ConstantPattern(Pattern):
+    """Matches only a :class:`Constant` node."""
+
+    def _match(self, node: Node, state: MatchState) -> bool:
+        if isinstance(node, Constant):
+            state.constants.append(node)
+            return True
+        return False
+
+    def __repr__(self):
+        return "const"
+
+
+class OpPattern(Pattern):
+    """Matches a specific operator; call it to supply argument patterns."""
+
+    def __init__(self, op_name: str):
+        self.op_name = op_name
+
+    def __call__(self, *arg_patterns: Pattern) -> "CallPattern":
+        return CallPattern(self.op_name, list(arg_patterns))
+
+    def _match(self, node: Node, state: MatchState) -> bool:
+        raise PatternError(
+            f"is_op({self.op_name!r}) must be called with argument patterns"
+        )
+
+    def __repr__(self):
+        return f"is_op({self.op_name!r})"
+
+
+class CallPattern(Pattern):
+    """Matches a Call of a given op whose inputs match sub-patterns."""
+
+    def __init__(self, op_name: str, args: List[Pattern],
+                 attrs: Optional[Dict] = None):
+        for a in args:
+            if not isinstance(a, Pattern):
+                raise PatternError(f"argument pattern expected, got {a!r}")
+        self.op_name = op_name
+        self.args = args
+        self.attrs = dict(attrs or {})
+
+    def _match(self, node: Node, state: MatchState) -> bool:
+        if not isinstance(node, Call) or node.op != self.op_name:
+            return False
+        if len(node.inputs) != len(self.args):
+            return False
+        if not _attrs_ok(node, self.attrs):
+            return False
+        snap = state.snapshot()
+        for pat, inp in zip(self.args, node.inputs):
+            if not pat._match(inp, state):
+                state.rollback(snap)
+                return False
+        state.interior.append(node)
+        return True
+
+    def __repr__(self):
+        return f"{self.op_name}({', '.join(map(repr, self.args))})"
+
+
+class AttrPattern(Pattern):
+    """Wraps a pattern with additional attribute constraints."""
+
+    def __init__(self, inner: Pattern, attrs: Dict):
+        self.inner = inner
+        self.attrs = attrs
+
+    def _match(self, node: Node, state: MatchState) -> bool:
+        if not _attrs_ok(node, self.attrs):
+            return False
+        return self.inner._match(node, state)
+
+    def __repr__(self):
+        return f"{self.inner!r}.has_attr({self.attrs!r})"
+
+
+class OptionalPattern(Pattern):
+    """Prefers the wrapped (longer) pattern; falls back to the base."""
+
+    def __init__(self, base: Pattern, wrapped: Pattern):
+        self.base = base
+        self.wrapped = wrapped
+
+    def _match(self, node: Node, state: MatchState) -> bool:
+        snap = state.snapshot()
+        if self.wrapped._match(node, state):
+            return True
+        state.rollback(snap)
+        return self.base._match(node, state)
+
+    def __repr__(self):
+        return f"optional({self.wrapped!r} | {self.base!r})"
+
+
+def _attrs_ok(node: Node, attrs: Dict) -> bool:
+    for key, want in attrs.items():
+        if key == "dtype":
+            name = node.dtype.name
+            if callable(want):
+                if not want(name):
+                    return False
+            elif name != want:
+                return False
+            continue
+        if not isinstance(node, Call):
+            return False
+        have = node.attrs.get(key)
+        if isinstance(have, tuple) and isinstance(want, (list, tuple)):
+            want = tuple(want)
+        if callable(want):
+            if not want(have):
+                return False
+        elif have != want:
+            return False
+    return True
+
+
+def wildcard() -> WildcardPattern:
+    """A pattern matching anything (bound as an external input)."""
+    return WildcardPattern()
+
+
+def is_op(op_name: str) -> OpPattern:
+    """A pattern matching calls of operator ``op_name``."""
+    from ..ir import get_op
+    get_op(op_name)  # validate the op exists
+    return OpPattern(op_name)
+
+
+def is_constant() -> ConstantPattern:
+    """A pattern matching constant nodes (kept inside the composite)."""
+    return ConstantPattern()

@@ -1,0 +1,63 @@
+"""Standard pattern library for quantized TinyML graphs.
+
+:func:`conv2d_pattern` is a direct transcription of the paper's
+Listing 1 — a coarse-grained Conv2D followed by bias-add,
+re-quantization (right-shift / clip / cast) and an optional ReLU clip.
+Analogous patterns cover fully-connected and residual-add chains, which
+DIANA's accelerators also execute as single coarse-grained operators.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .lang import Pattern, is_constant, is_op, wildcard
+from .partition import PatternSpec
+
+#: Composite names used across the dispatcher and the DORY backend.
+QCONV2D = "htvm.qconv2d"
+QDENSE = "htvm.qdense"
+QADD = "htvm.qadd"
+
+
+def _requant_tail(producer: Pattern) -> Pattern:
+    """``right_shift`` → ``clip`` → ``cast(int8)`` with optional ReLU clip.
+
+    The cast also accepts ``int7``: analog-bound layers re-quantize to
+    the AiMC core's 7-bit input range.
+    """
+    right_shift = is_op("right_shift")(producer, is_constant())
+    clip = is_op("clip")(right_shift)
+    cast = is_op("cast")(clip).has_attr(
+        {"dtype": lambda d: d in ("int8", "int7")})
+    act_or_cast = cast.optional(lambda x: is_op("clip")(x))
+    return act_or_cast
+
+
+def conv2d_pattern() -> Pattern:
+    """Conv2D-BiasAdd-ReQuant-ReLU, as in Listing 1 of the paper."""
+    conv2d = is_op("nn.conv2d")(wildcard(), wildcard())
+    bias_add = is_op("nn.bias_add")(conv2d, wildcard())
+    return _requant_tail(bias_add)
+
+
+def dense_pattern() -> Pattern:
+    """Dense-BiasAdd-ReQuant(-ReLU) for fully-connected layers."""
+    dense = is_op("nn.dense")(wildcard(), wildcard())
+    bias_add = is_op("nn.bias_add")(dense, wildcard())
+    return _requant_tail(bias_add)
+
+
+def add_pattern() -> Pattern:
+    """Residual elementwise Add-ReQuant(-ReLU)."""
+    add = is_op("add")(wildcard(), wildcard())
+    return _requant_tail(add)
+
+
+def default_specs() -> List[PatternSpec]:
+    """The standard prioritized pattern list used by the HTVM flow."""
+    return [
+        PatternSpec(QCONV2D, conv2d_pattern()),
+        PatternSpec(QDENSE, dense_pattern()),
+        PatternSpec(QADD, add_pattern()),
+    ]

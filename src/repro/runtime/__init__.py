@@ -1,0 +1,12 @@
+"""Runtime: reference interpreter, numeric kernels, SoC executor."""
+
+from .cost import accumulate_accel_cost, cost_layer
+from .executor import ExecutionResult, Executor
+from .reference import random_inputs, run_reference
+from .validate import ValidationReport, validate_deployment
+
+__all__ = [
+    "ExecutionResult", "Executor", "accumulate_accel_cost", "cost_layer",
+    "random_inputs", "run_reference",
+    "ValidationReport", "validate_deployment",
+]

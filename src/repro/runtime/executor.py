@@ -1,0 +1,207 @@
+"""Graph runtime: executes a compiled model on the simulated DIANA SoC.
+
+For every step the executor produces both the *functional* result
+(bit-exact integer numpy computation, tile by tile for accelerator
+layers) and the *cycle cost* (DMA + compute + overheads, per the cost
+models in :mod:`repro.soc`). Because accelerator layers are executed by
+actually iterating the DORY tiling — slicing halos, padding edge tiles,
+writing back output tiles — any tiling bug shows up as a numerical
+mismatch against the reference interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from ..core.program import AccelStep, CompiledModel, CpuKernelStep
+from ..dory.layer_spec import LayerSpec
+from ..dory.tiling_types import Tile, TilingSolution
+from ..errors import SimulationError
+from ..soc.perf import PerfCounters
+from .cost import accumulate_accel_cost
+from .reference import run_reference
+
+if TYPE_CHECKING:  # avoid a circular import at runtime
+    from ..soc.diana import DianaSoC
+
+
+@dataclass
+class ExecutionResult:
+    """Output value + performance counters of one inference."""
+
+    output: np.ndarray
+    perf: PerfCounters
+    l2_peak_bytes: int
+
+    @property
+    def total_cycles(self) -> float:
+        return self.perf.total_cycles
+
+    @property
+    def peak_cycles(self) -> float:
+        return self.perf.peak_cycles
+
+
+def _as_chw(arr: np.ndarray) -> np.ndarray:
+    """Drop the batch dim: executor tiles operate on (C, H, W) views."""
+    if arr.ndim == 4:
+        return arr[0]
+    if arr.ndim == 2:
+        return arr[0][:, None, None]
+    raise SimulationError(f"unsupported activation rank {arr.ndim}")
+
+
+def _tile_input(x_chw: np.ndarray, spec: LayerSpec, tile: Tile) -> np.ndarray:
+    """Slice + zero-pad the input slab one tile needs (NCHW, N=1)."""
+    slab = x_chw[tile.c0:tile.c1, tile.iy0:tile.iy1, tile.ix0:tile.ix1]
+    if tile.pad_top or tile.pad_bottom or tile.pad_left or tile.pad_right:
+        slab = np.pad(
+            slab,
+            ((0, 0), (tile.pad_top, tile.pad_bottom),
+             (tile.pad_left, tile.pad_right)),
+            mode="constant",
+        )
+    return slab[None, ...]
+
+
+class Executor:
+    """Runs compiled models on a :class:`~repro.soc.diana.DianaSoC`."""
+
+    def __init__(self, soc: "DianaSoC"):
+        self.soc = soc
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, model: CompiledModel,
+            feeds: Dict[str, np.ndarray]) -> ExecutionResult:
+        """Execute one inference; returns output + cycle accounting."""
+        perf = PerfCounters()
+        values: Dict[str, np.ndarray] = {}
+        l2 = self.soc.fresh_l2()
+        l2.place("static_image", 0, min(model.size.total, l2.capacity))
+        arena_base = model.size.total
+        l2_peak = model.size.total
+
+        for name in model.input_names:
+            if name not in feeds:
+                raise SimulationError(f"missing input {name!r}")
+            buf = model.buffers[name]
+            arr = np.asarray(feeds[name], dtype=buf.ttype.dtype.to_numpy())
+            if arr.shape != buf.ttype.shape:
+                raise SimulationError(
+                    f"input {name!r}: expected {buf.ttype.shape}, "
+                    f"got {arr.shape}")
+            values[name] = arr
+            self._place(l2, model, name, arena_base)
+
+        last_use = self._last_use(model)
+        for idx, step in enumerate(model.steps):
+            self._place(l2, model, step.output_name, arena_base)
+            l2_peak = max(l2_peak, l2.high_water)
+            args = [values[n] for n in step.input_names]
+            if isinstance(step, CpuKernelStep):
+                values[step.output_name] = self._run_cpu(step, args, perf)
+            elif isinstance(step, AccelStep):
+                values[step.output_name] = self._run_accel(step, args, perf)
+            else:
+                raise SimulationError(f"unknown step {step!r}")
+            for name in step.input_names:
+                if last_use.get(name) == idx and name != model.output_name:
+                    l2.free(name)
+
+        return ExecutionResult(
+            output=values[model.output_name], perf=perf, l2_peak_bytes=l2_peak)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _last_use(self, model: CompiledModel) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for idx, step in enumerate(model.steps):
+            for name in step.input_names:
+                out[name] = idx
+        return out
+
+    def _place(self, l2, model: CompiledModel, name: str, base: int):
+        offset = model.memory_plan.offsets.get(name)
+        if offset is None:
+            return
+        l2.place(name, base + offset, model.buffers[name].size_bytes)
+
+    def _run_cpu(self, step: CpuKernelStep, args, perf: PerfCounters):
+        body = step.body
+        rec = perf.start_kernel(step.name, "cpu", macs=body.total_macs())
+        rec.add("cpu_compute", self.soc.cpu.kernel_cycles(body))
+        rec.add("runtime", self.soc.params.runtime_call_overhead)
+        feeds = {p.name: a for p, a in zip(body.inputs, args)}
+        return run_reference(body, feeds)
+
+    # -- tiled accelerator execution ------------------------------------------------
+
+    def _run_accel(self, step: AccelStep, args, perf: PerfCounters):
+        spec, sol = step.spec, step.tiling
+        accel = self.soc.accelerator(step.accel_target)
+        rec = perf.start_kernel(step.name, step.accel_target, macs=spec.macs())
+        accumulate_accel_cost(rec, accel, spec, sol, self.soc.params)
+
+        x = args[0]
+        y = args[1] if spec.kind == "add" else None
+        x_chw = _as_chw(x)
+        y_chw = _as_chw(y) if y is not None else None
+
+        out = self._alloc_output(spec, step)
+        out_chw = _as_chw(out)
+        pending: Dict[tuple, np.ndarray] = {}  # int32 partial sums in L1
+        for tile in sol.tiles():
+            self._compute_tile(accel, spec, tile, x_chw, y_chw, out_chw,
+                               pending)
+        if pending:
+            raise SimulationError(
+                f"{step.name}: {len(pending)} unfinished partial sums")
+        return out
+
+    def _alloc_output(self, spec: LayerSpec, step: AccelStep) -> np.ndarray:
+        if spec.kind == "dense":
+            return np.zeros((1, spec.out_channels), dtype=np.int8)
+        return np.zeros((1, spec.out_channels, spec.oy, spec.ox),
+                        dtype=np.int8)
+
+    def _compute_tile(self, accel, spec: LayerSpec, tile: Tile,
+                      x_chw: np.ndarray, y_chw: Optional[np.ndarray],
+                      out_chw: np.ndarray, pending: Dict[tuple, np.ndarray]):
+        bias = spec.bias[tile.k0:tile.k1] if spec.bias is not None else None
+        if spec.kind == "dense":
+            w = spec.weight[tile.k0:tile.k1]
+            res = accel.execute(spec, x_chw[:, 0, 0][None, ...], w, bias)
+            out_chw[tile.k0:tile.k1, 0, 0] = res[0]
+            return
+        if spec.kind == "add":
+            xa = x_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
+                       tile.ox0:tile.ox1][None, ...]
+            yb = y_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
+                       tile.ox0:tile.ox1][None, ...]
+            res = accel.execute(spec, xa, None, bias, y=yb)
+            out_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
+                    tile.ox0:tile.ox1] = res[0]
+            return
+        xin = _tile_input(x_chw, spec, tile)
+        if spec.is_depthwise:
+            w = spec.weight[tile.k0:tile.k1]
+            res = accel.execute(spec, xin, w, bias, padding=(0, 0))
+            out_chw[tile.k0:tile.k1, tile.oy0:tile.oy1,
+                    tile.ox0:tile.ox1] = res[0]
+            return
+        # conv2d: accumulate int32 partial sums across C blocks, then
+        # requantize once — exactly what the generated tile loop does.
+        w = spec.weight[tile.k0:tile.k1, tile.c0:tile.c1]
+        acc = accel.accumulate(spec, xin, w, padding=(0, 0))
+        key = (tile.k0, tile.oy0, tile.ox0)
+        if key in pending:
+            acc = pending.pop(key) + acc
+        if not tile.last_reduction:
+            pending[key] = acc
+            return
+        res = accel.finalize(spec, acc, bias)
+        out_chw[tile.k0:tile.k1, tile.oy0:tile.oy1, tile.ox0:tile.ox1] = res[0]

@@ -1,0 +1,12 @@
+"""Compatibility shim: the kernels live in :mod:`repro.numerics`.
+
+They were moved to a top-level leaf module so the SoC accelerator
+models can import them without dragging in the full runtime package.
+"""
+
+from ..numerics import *  # noqa: F401,F403
+from ..numerics import (  # explicit re-exports for linters
+    add, avg_pool2d, bias_add, cast, clip, conv2d, dense,
+    global_avg_pool2d, max_pool2d, pad_nchw, relu, requantize,
+    right_shift, softmax,
+)

@@ -1,0 +1,109 @@
+"""Bit-exact reference interpreter for IR graphs.
+
+This is the golden model: it walks the graph in topological order and
+evaluates every operator with the shared numpy kernels in
+:mod:`repro.runtime.numerics`. Compiled programs (CPU-fused, tiled
+digital, tiled analog) must produce byte-identical outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..ir import Call, Composite, Constant, Graph, Node, Var
+from .. import numerics as K
+
+
+def _eval_call(node: Call, args) -> np.ndarray:
+    op = node.op
+    a = node.attrs
+    if op == "nn.conv2d":
+        return K.conv2d(args[0], args[1], a["strides"], a["padding"], a["groups"])
+    if op == "nn.dense":
+        return K.dense(args[0], args[1])
+    if op == "nn.bias_add":
+        return K.bias_add(args[0], args[1], a["axis"])
+    if op == "right_shift":
+        return K.right_shift(args[0], int(args[1].reshape(-1)[0]), a["rounding"])
+    if op == "clip":
+        return K.clip(args[0], a["a_min"], a["a_max"])
+    if op == "cast":
+        return K.cast(args[0], node.dtype.to_numpy())
+    if op == "nn.relu":
+        return K.relu(args[0])
+    if op == "add":
+        out_dt = None
+        if a.get("out_dtype") is not None:
+            out_dt = node.dtype.to_numpy()
+        return K.add(args[0], args[1], out_dt)
+    if op == "nn.avg_pool2d":
+        return K.avg_pool2d(args[0], a["pool_size"], a["strides"], a["padding"])
+    if op == "nn.max_pool2d":
+        return K.max_pool2d(args[0], a["pool_size"], a["strides"], a["padding"])
+    if op == "nn.global_avg_pool2d":
+        return K.global_avg_pool2d(args[0])
+    if op == "nn.softmax":
+        return K.softmax(args[0], a["axis"])
+    if op == "reshape":
+        return args[0].reshape(node.shape)
+    if op == "nn.batch_flatten":
+        return args[0].reshape(node.shape)
+    if op == "nn.pad":
+        return np.pad(args[0], a["pad_width"], constant_values=a["pad_value"])
+    if op == "concatenate":
+        return K.concatenate(args[0], args[1], a["axis"])
+    if op == "nn.sigmoid_lut":
+        return K.sigmoid_lut(args[0], a["scale_bits"])
+    if op == "nn.tanh_lut":
+        return K.tanh_lut(args[0], a["scale_bits"])
+    raise SimulationError(f"reference executor: unhandled op {op}")
+
+
+def run_reference(graph: Graph, feeds: Dict[str, np.ndarray]) -> np.ndarray:
+    """Evaluate ``graph`` on named input arrays; returns the output array."""
+    values: Dict[int, np.ndarray] = {}
+    for var in graph.inputs:
+        if var.name not in feeds:
+            raise SimulationError(f"missing input {var.name!r}")
+        arr = np.asarray(feeds[var.name], dtype=var.dtype.to_numpy())
+        if arr.shape != var.shape:
+            raise SimulationError(
+                f"input {var.name!r}: expected shape {var.shape}, got {arr.shape}"
+            )
+        values[var.node_id] = arr
+
+    for node in graph.topo_order():
+        if isinstance(node, Var):
+            continue
+        if isinstance(node, Constant):
+            values[node.node_id] = node.value.data
+        elif isinstance(node, Call):
+            args = [values[i.node_id] for i in node.inputs]
+            values[node.node_id] = _eval_call(node, args)
+        elif isinstance(node, Composite):
+            args = [values[i.node_id] for i in node.inputs]
+            sub_feeds = {
+                p.name: a for p, a in zip(node.body.inputs, args)
+            }
+            values[node.node_id] = run_reference(node.body, sub_feeds)
+        else:
+            raise SimulationError(f"unhandled node {node!r}")
+    return values[graph.output.node_id]
+
+
+def random_inputs(graph: Graph, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Seeded random feeds spanning each input dtype's logical range."""
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for var in graph.inputs:
+        dt = var.dtype
+        if dt.name == "float32":
+            feeds[var.name] = rng.standard_normal(var.shape).astype(np.float32)
+        else:
+            feeds[var.name] = rng.integers(
+                dt.min_value, dt.max_value + 1, size=var.shape
+            ).astype(dt.to_numpy())
+    return feeds

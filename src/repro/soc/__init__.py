@@ -1,0 +1,24 @@
+"""Simulated DIANA SoC: CPU, digital and analog accelerators, memories."""
+
+from .params import DEFAULT_PARAMS, DianaParams, latency_ms
+from .memory import Allocation, MemoryRegion
+from .dma import contiguous_chunks, tile_transfer_cycles, transfer_cycles
+from .perf import KernelRecord, PerfCounters
+from .cpu import CpuModel
+from .digital import DigitalAccelerator
+from .analog import AnalogAccelerator
+from .diana import DianaSoC
+from .energy import (
+    DEFAULT_ENERGY, EnergyParams, energy_by_target_uj, execution_energy_uj,
+    kernel_energy_pj,
+)
+
+__all__ = [
+    "DEFAULT_PARAMS", "DianaParams", "latency_ms",
+    "Allocation", "MemoryRegion",
+    "contiguous_chunks", "tile_transfer_cycles", "transfer_cycles",
+    "KernelRecord", "PerfCounters",
+    "CpuModel", "DigitalAccelerator", "AnalogAccelerator", "DianaSoC",
+    "DEFAULT_ENERGY", "EnergyParams", "energy_by_target_uj",
+    "execution_energy_uj", "kernel_energy_pj",
+]

@@ -1,0 +1,171 @@
+"""Model of DIANA's digital DNN accelerator.
+
+A 2D SIMD array of 16x16 processing elements delivering up to 256 8-bit
+MACs/cycle, with requantization/ReLU at the output and a private 64 kB
+weight memory (paper Sec. III-C). Convolutions map input channels and
+feature-width positions onto the 16 PE rows/columns, which is why the
+tiling heuristics of Eqs. (3)-(4) reward tile sizes that are multiples
+of 16 — partial blocks leave PE rows/columns idle.
+
+The model is split into:
+
+* capability checks (:meth:`DigitalAccelerator.supports`),
+* a cycle model (:meth:`compute_cycles`, :meth:`weight_load_cycles`),
+* a bit-exact functional kernel (:meth:`execute`) built on the shared
+  numpy kernels, so tiled accelerator execution can be verified against
+  the reference interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dory.layer_spec import LayerSpec
+from ..errors import SimulationError
+from .. import numerics as K
+from .params import DianaParams
+
+TARGET = "soc.digital"
+
+
+class DigitalAccelerator:
+    """Cost + functional model of the 16x16 PE digital accelerator."""
+
+    name = TARGET
+    #: coarse-grained ops the hardware executes as one instruction.
+    supported_kinds = ("conv2d", "dwconv2d", "dense", "add")
+    #: weight precisions the datapath accepts.
+    supported_weight_dtypes = ("int8",)
+    #: activation precisions.
+    supported_act_dtypes = ("int8", "int7")
+
+    def __init__(self, params: DianaParams):
+        self.params = params
+
+    # -- capability -----------------------------------------------------------
+
+    def supports(self, spec: LayerSpec) -> Tuple[bool, str]:
+        """Accelerator-aware rule check (paper Sec. III-A).
+
+        Verifies operator kind, bit precisions, and parameter ranges.
+        Returns (ok, reason-if-not).
+        """
+        if spec.kind not in self.supported_kinds:
+            return False, f"kind {spec.kind} not supported"
+        if spec.kind != "add" and spec.weight_dtype not in self.supported_weight_dtypes:
+            return False, f"weight dtype {spec.weight_dtype} not supported"
+        if spec.in_dtype not in self.supported_act_dtypes:
+            return False, f"activation dtype {spec.in_dtype} not supported"
+        if spec.kind in ("conv2d", "dwconv2d"):
+            if max(spec.fy, spec.fx) > 16:
+                return False, "kernel size > 16 not supported"
+            if max(spec.strides) > 4:
+                return False, "stride > 4 not supported"
+        if spec.shift < 0 or spec.shift > 31:
+            return False, "requant shift out of range"
+        return True, ""
+
+    def fits_weight_memory(self, weight_tile_bytes: int) -> bool:
+        return weight_tile_bytes <= self.params.dig_weight_bytes
+
+    # -- cycle model ------------------------------------------------------------
+
+    def compute_cycles(self, spec: LayerSpec, c_t: int, k_t: int,
+                       oy_t: int, ox_t: int) -> float:
+        """PE-array busy cycles for one tile.
+
+        Conv2D: each cycle the array consumes 16 input channels x 16
+        feature-width positions, iterating over output channels, rows
+        and filter taps:
+        ``K_t * oy_t * fy * fx * ceil(C_t/16) * ceil(ix_t/16)``.
+        FC: input channels x output channels are unrolled on the array:
+        ``ceil(C_t/16) * ceil(K_t/16)``.
+        Depthwise: only one PE row is used (paper Sec. IV-B, peak 3.75
+        MACs/cycle).
+        """
+        p = self.params
+        if spec.kind == "conv2d":
+            ix_t = min((ox_t - 1) * spec.strides[1] + spec.fx, spec.ix)
+            return (k_t * oy_t * spec.fy * spec.fx
+                    * math.ceil(c_t / p.dig_pe_rows)
+                    * math.ceil(ix_t / p.dig_pe_cols))
+        if spec.kind == "dwconv2d":
+            ix_t = min((ox_t - 1) * spec.strides[1] + spec.fx, spec.ix)
+            row_cycles = (c_t * oy_t * spec.fy * spec.fx
+                          * math.ceil(ix_t / p.dig_pe_cols))
+            # single PE row at reduced effective rate (peak 3.75 MACs/cycle)
+            return row_cycles * (p.dig_pe_cols / p.dig_dw_macs_per_cycle)
+        if spec.kind == "dense":
+            return (math.ceil(c_t / p.dig_pe_rows)
+                    * math.ceil(k_t / p.dig_pe_cols))
+        if spec.kind == "add":
+            return c_t * oy_t * ox_t / p.dig_simd_elems_per_cycle
+        raise SimulationError(f"digital: unsupported kind {spec.kind}")
+
+    def weight_tile_bytes(self, spec: LayerSpec, c_t: int, k_t: int) -> int:
+        """int8 weight bytes for a (C_t, K_t) tile."""
+        if spec.kind == "add":
+            return 0
+        if spec.kind == "dense":
+            return k_t * c_t
+        if spec.kind == "dwconv2d":
+            return c_t * spec.fy * spec.fx
+        return k_t * c_t * spec.fy * spec.fx
+
+    def weight_load_cycles(self, weight_bytes: int) -> float:
+        """DMA cycles to fill the weight memory for one tile."""
+        if weight_bytes == 0:
+            return 0.0
+        p = self.params
+        return p.dma_setup_cycles + weight_bytes / p.dma_bytes_per_cycle
+
+    @property
+    def job_overhead(self) -> int:
+        return self.params.dig_job_overhead
+
+    # -- functional model ---------------------------------------------------------
+
+    def accumulate(self, spec: LayerSpec, x: np.ndarray, w: np.ndarray,
+                   padding: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """int32 partial sums of one (possibly C-partial) MAC tile.
+
+        When DORY tiles the input channels, the digital core writes raw
+        int32 accumulator tiles to L1; requantization happens only on
+        the last reduction block (:meth:`finalize`).
+        """
+        pad = spec.padding if padding is None else padding
+        if spec.kind in ("conv2d", "dwconv2d"):
+            groups = x.shape[1] if spec.is_depthwise else 1
+            return K.conv2d(x, w, spec.strides, pad, groups)
+        if spec.kind == "dense":
+            return K.dense(x, w)
+        raise SimulationError(f"digital: no MAC path for kind {spec.kind}")
+
+    def finalize(self, spec: LayerSpec, acc: np.ndarray,
+                 bias: Optional[np.ndarray]) -> np.ndarray:
+        """Bias-add + requantization of a completed accumulator tile."""
+        if bias is not None:
+            acc = K.bias_add(acc, bias, axis=1)
+        lo, hi = (-128, 127) if spec.out_dtype != "int7" else (-64, 63)
+        return K.requantize(acc, spec.shift, spec.relu, lo, hi)
+
+    def execute(self, spec: LayerSpec, x: np.ndarray,
+                w: Optional[np.ndarray], bias: Optional[np.ndarray],
+                y: Optional[np.ndarray] = None,
+                padding: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """Bit-exact result of one coarse-grained digital instruction.
+
+        ``x`` is the input tile (NCHW or NC), ``y`` the second operand
+        for ``add`` layers. ``padding`` overrides the spec padding (tile
+        interiors are not padded).
+        """
+        if spec.kind == "add":
+            if y is None:
+                raise SimulationError("add layer needs two operands")
+            acc = K.add(x, y)
+        else:
+            acc = self.accumulate(spec, x, w, padding)
+        return self.finalize(spec, acc, bias)

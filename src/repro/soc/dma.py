@@ -1,0 +1,71 @@
+"""DMA cost model for L2 <-> L1 / weight-memory transfers.
+
+DIANA moves activation tiles and weights with a uDMA engine programmed
+by the RISC-V host. A transfer of a sub-tensor is a sequence of 1D
+bursts — one per contiguous chunk — so *strided* tiles (inner dimensions
+narrower than the full tensor) cost extra per-chunk descriptor cycles.
+This is the mechanism behind the paper's Eq. (5) heuristic ("minimize
+non-contiguous input data transfers ... maximize the i_y dimension"):
+tiles that keep the innermost dimensions whole need fewer chunks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .params import DianaParams
+
+
+def contiguous_chunks(tensor_shape: Sequence[int],
+                      tile_shape: Sequence[int]) -> int:
+    """Number of contiguous 1D bursts needed to move a tile.
+
+    The tile is an axis-aligned slice of a row-major tensor. Trailing
+    dimensions that are copied whole merge into the burst; the first
+    (innermost-to-outermost scan) dimension that is only partially
+    covered splits the transfer into one burst per index of all outer
+    dimensions.
+    """
+    if len(tensor_shape) != len(tile_shape):
+        raise ValueError("tensor/tile rank mismatch")
+    chunks = 1
+    merged = True
+    for full, tile in zip(reversed(list(tensor_shape)), reversed(list(tile_shape))):
+        if tile > full:
+            raise ValueError(f"tile dim {tile} exceeds tensor dim {full}")
+        if merged:
+            if tile == full:
+                continue
+            merged = False
+            continue  # this (partial) dim starts the burst; outer dims multiply
+        chunks *= tile
+    return chunks
+
+
+def transfer_cycles(num_bytes: int, chunks: int, params: DianaParams,
+                    bandwidth: float = None) -> float:
+    """Cycles for one DMA job of ``num_bytes`` in ``chunks`` bursts.
+
+    ``bandwidth`` defaults to the (narrow) weight-path bandwidth;
+    activation transfers pass ``params.dma_act_bytes_per_cycle``.
+    """
+    if num_bytes <= 0:
+        return 0.0
+    if bandwidth is None:
+        bandwidth = params.dma_bytes_per_cycle
+    return (params.dma_setup_cycles
+            + chunks * params.dma_chunk_cycles
+            + num_bytes / bandwidth)
+
+
+def tile_transfer_cycles(tensor_shape: Sequence[int],
+                         tile_shape: Sequence[int],
+                         elem_bytes: float,
+                         params: DianaParams) -> float:
+    """Cycles to DMA one activation tile between L2 and the shared L1."""
+    num = 1
+    for d in tile_shape:
+        num *= d
+    chunks = contiguous_chunks(tensor_shape, tile_shape)
+    return transfer_cycles(int(num * elem_bytes), chunks, params,
+                           bandwidth=params.dma_act_bytes_per_cycle)

@@ -1,0 +1,88 @@
+"""Memory regions of the simulated SoC.
+
+A :class:`MemoryRegion` tracks capacity and current usage; allocation
+failures raise :class:`~repro.errors.OutOfMemoryError`, which is how the
+simulator reproduces the paper's MobileNet-on-plain-TVM OoM result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import OutOfMemoryError
+
+
+@dataclass
+class Allocation:
+    """A live allocation inside a region."""
+
+    name: str
+    offset: int
+    size: int
+
+
+class MemoryRegion:
+    """A fixed-capacity memory with simple bump allocation + free.
+
+    The runtime executor follows the *compiler's* memory plan (offsets
+    are computed ahead of time); this class enforces that the plan never
+    exceeds capacity at execution time, and is used directly for
+    unplanned (baseline) allocation behaviour.
+    """
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.capacity = int(capacity)
+        self.allocations: Dict[str, Allocation] = {}
+        self._cursor = 0  # monotonic bump pointer for unplanned alloc()
+
+    @property
+    def used(self) -> int:
+        return sum(a.size for a in self.allocations.values())
+
+    @property
+    def high_water(self) -> int:
+        if not self.allocations:
+            return 0
+        return max(a.offset + a.size for a in self.allocations.values())
+
+    def place(self, name: str, offset: int, size: int) -> Allocation:
+        """Register a planned allocation at a fixed offset."""
+        if offset < 0 or offset + size > self.capacity:
+            raise OutOfMemoryError(
+                f"{self.name}: planned allocation {name!r} "
+                f"[{offset}, {offset + size}) exceeds capacity {self.capacity}"
+            )
+        alloc = Allocation(name, offset, size)
+        self.allocations[name] = alloc
+        return alloc
+
+    def alloc(self, name: str, size: int) -> Allocation:
+        """Unplanned allocation: bump-allocate, never reusing space.
+
+        This models a naive runtime allocator with no buffer reuse (the
+        plain-TVM baseline behaviour in Table I): freeing returns the
+        bytes to accounting but the bump pointer never rewinds.
+        """
+        offset = max(self._cursor, self.high_water)
+        if offset + size > self.capacity:
+            raise OutOfMemoryError(
+                f"{self.name}: cannot allocate {size} bytes for {name!r} "
+                f"({offset} of {self.capacity} bytes in use)"
+            )
+        alloc = Allocation(name, offset, size)
+        self.allocations[name] = alloc
+        self._cursor = offset + size
+        return alloc
+
+    def free(self, name: str):
+        self.allocations.pop(name, None)
+
+    def reset(self):
+        self.allocations.clear()
+        self._cursor = 0
+
+    def __repr__(self):
+        return (f"MemoryRegion({self.name}, {self.used}/{self.capacity} B, "
+                f"{len(self.allocations)} allocs)")

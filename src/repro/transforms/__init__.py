@@ -1,0 +1,13 @@
+"""Graph transforms: TVM-style optimization and lowering passes."""
+
+from .base import Pass, PassManager
+from .canonicalize import canonicalize
+from .constant_fold import fold_constants
+from .dead_code import eliminate_dead_code
+from .fuse_ops import CPU_FUSED, fuse_cpu_ops
+from .legalize import dense_to_conv2d
+
+__all__ = [
+    "Pass", "PassManager", "canonicalize", "fold_constants",
+    "eliminate_dead_code", "CPU_FUSED", "fuse_cpu_ops", "dense_to_conv2d",
+]

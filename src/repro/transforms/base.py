@@ -1,0 +1,46 @@
+"""Pass infrastructure: named graph-to-graph transforms with a manager."""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..ir import Graph
+
+
+class Pass:
+    """A named graph transform."""
+
+    def __init__(self, name: str, fn: Callable[[Graph], Graph]):
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, graph: Graph) -> Graph:
+        out = self.fn(graph)
+        if not isinstance(out, Graph):
+            raise TypeError(f"pass {self.name} returned {type(out)!r}")
+        return out
+
+    def __repr__(self):
+        return f"Pass({self.name})"
+
+
+class PassManager:
+    """Runs a pipeline of passes in order, recording a trace.
+
+    The trace (pass name, node count before/after) is kept for
+    debuggability — `PassManager.trace` after a run shows what each
+    stage of the Fig. 1 flow did to the graph.
+    """
+
+    def __init__(self, passes: List[Pass]):
+        self.passes = list(passes)
+        self.trace: List[tuple] = []
+
+    def run(self, graph: Graph) -> Graph:
+        self.trace = []
+        for p in self.passes:
+            before = len(graph.topo_order())
+            graph = p(graph)
+            after = len(graph.topo_order())
+            self.trace.append((p.name, before, after))
+        return graph

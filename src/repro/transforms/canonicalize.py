@@ -1,0 +1,45 @@
+"""Canonicalization: local simplifications that make patterns match.
+
+* ``clip(clip(x))`` → single clip with intersected bounds,
+* ``cast`` to the node's own dtype → dropped,
+* ``reshape`` to the input's own shape → dropped.
+
+Quantized model exporters routinely emit such redundancies; removing
+them keeps the Listing 1 pattern a faithful single description of a
+quantized convolution.
+"""
+
+from __future__ import annotations
+
+from ..ir import Call, Graph, Node
+
+
+def canonicalize(graph: Graph) -> Graph:
+    """Apply local clean-up rewrites until none fire."""
+
+    changed = True
+    while changed:
+        changed = False
+
+        def rewriter(node: Node, new_inputs):
+            nonlocal changed
+            if not isinstance(node, Call):
+                return None
+            if node.op == "clip":
+                inner = new_inputs[0]
+                if isinstance(inner, Call) and inner.op == "clip":
+                    changed = True
+                    return Call("clip", inner.inputs, {
+                        "a_min": max(node.attrs["a_min"], inner.attrs["a_min"]),
+                        "a_max": min(node.attrs["a_max"], inner.attrs["a_max"]),
+                    })
+            if node.op == "cast" and new_inputs[0].dtype.name == node.attrs["dtype"]:
+                changed = True
+                return new_inputs[0]
+            if node.op == "reshape" and new_inputs[0].shape == node.shape:
+                changed = True
+                return new_inputs[0]
+            return None
+
+        graph = graph.rewrite(rewriter)
+    return graph

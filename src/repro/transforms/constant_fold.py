@@ -1,0 +1,34 @@
+"""Constant folding — one of TVM's "initial optimizations" (Fig. 1).
+
+Any call whose inputs are all constants is evaluated at compile time
+with the shared numpy kernels and replaced by a constant node. Float
+results (softmax) are foldable too, though they never appear with
+constant inputs in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import Call, Constant, ConstantTensor, Graph, Node
+from ..runtime.reference import _eval_call
+
+
+def _as_constant(node: Call, value: np.ndarray) -> Constant:
+    return Constant(ConstantTensor(value.astype(node.dtype.to_numpy()),
+                                   node.dtype.name))
+
+
+def fold_constants(graph: Graph) -> Graph:
+    """Replace constant-input calls by their evaluated result."""
+
+    def rewriter(node: Node, new_inputs):
+        if not isinstance(node, Call):
+            return None
+        if not new_inputs or not all(isinstance(i, Constant) for i in new_inputs):
+            return None
+        args = [i.value.data for i in new_inputs]
+        result = _eval_call(node, args)
+        return _as_constant(node, np.asarray(result))
+
+    return graph.rewrite(rewriter)

@@ -1,0 +1,15 @@
+"""Dead-code elimination.
+
+Because :class:`~repro.ir.graph.Graph` traversal starts from the output,
+rebuilding a graph drops any node that does not feed the output. This
+pass exists so the pipeline trace shows the elimination explicitly.
+"""
+
+from __future__ import annotations
+
+from ..ir import Graph
+
+
+def eliminate_dead_code(graph: Graph) -> Graph:
+    """Rebuild the graph, dropping unreachable nodes."""
+    return graph.rewrite(lambda node, new_inputs: None)

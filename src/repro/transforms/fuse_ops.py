@@ -1,0 +1,101 @@
+"""CPU operator fusion — TVM's native lowering path (red block, Fig. 1).
+
+Operators left unmatched after accelerator partitioning are grouped into
+fused CPU kernels: an anchor op (conv/dense/pool/add/…) absorbs the
+maximal chain of single-use elementwise consumers that follows it. Each
+group becomes a :class:`~repro.ir.node.Composite` with pattern name
+``"cpu.fused"`` and ``target="cpu"``, which the CPU code generator turns
+into one C function — mirroring how TVM "produces operator-fused CPU
+kernels".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ir import Call, Composite, Constant, Graph, Node, Var, get_op
+from ..patterns.lang import MatchResult, MatchState
+from ..patterns.partition import _extract_body
+
+CPU_FUSED = "cpu.fused"
+
+
+def _is_elementwise(node: Node) -> bool:
+    return isinstance(node, Call) and get_op(node.op).is_elementwise
+
+
+def _chain_from(anchor: Call, users: Dict[int, List[Node]], claimed: set):
+    """The maximal elementwise chain starting at ``anchor``."""
+    chain = [anchor]
+    cur: Node = anchor
+    while True:
+        consumers = users[cur.node_id]
+        if len(consumers) != 1:
+            break
+        nxt = consumers[0]
+        if not _is_elementwise(nxt) or nxt.node_id in claimed:
+            break
+        # binary elementwise ops only fuse if their second operand is a
+        # constant (e.g. the shift amount); a real second activation
+        # input makes them an anchor of their own.
+        others = [i for i in nxt.inputs if i is not cur]
+        if any(not isinstance(o, Constant) for o in others):
+            break
+        chain.append(nxt)
+        cur = nxt
+    return chain
+
+
+def _group_match(chain: List[Call]) -> MatchResult:
+    """Build a MatchResult describing a fusion group."""
+    state = MatchState()
+    state.interior = list(chain)
+    interior_ids = {n.node_id for n in chain}
+    for node in chain:
+        for inp in node.inputs:
+            if inp.node_id in interior_ids or isinstance(inp, Constant):
+                continue
+            state.leaves.append(inp)
+    return MatchResult(chain[-1], state)
+
+
+def fuse_cpu_ops(graph: Graph) -> Graph:
+    """Group remaining calls into fused CPU composites."""
+    users = graph.users()
+    claimed: set = set()
+    groups: List[MatchResult] = []
+
+    for node in graph.topo_order():
+        if node.node_id in claimed or not isinstance(node, Call):
+            continue
+        chain = _chain_from(node, users, claimed)
+        claimed |= {n.node_id for n in chain}
+        groups.append(_group_match(chain))
+
+    by_root = {g.root.node_id: g for g in groups}
+    memo: Dict[int, Node] = {}
+
+    def rebuild(node: Node) -> Node:
+        if node.node_id in memo:
+            return memo[node.node_id]
+        g = by_root.get(node.node_id)
+        if g is not None:
+            ext = [rebuild(x) for x in g.inputs]
+            ops = "+".join(n.op for n in g.interior)
+            body = _extract_body(g, f"{CPU_FUSED}:{ops}")
+            new: Node = Composite(CPU_FUSED, body, ext, target="cpu")
+        elif isinstance(node, (Var, Constant)):
+            new = node
+        elif isinstance(node, Composite):
+            new = Composite(node.pattern_name, node.body,
+                            [rebuild(i) for i in node.inputs], node.target)
+        elif isinstance(node, Call):
+            new = Call(node.op, [rebuild(i) for i in node.inputs], node.attrs)
+        else:
+            raise TypeError(f"cannot rebuild {node!r}")
+        memo[node.node_id] = new
+        return new
+
+    new_output = rebuild(graph.output)
+    new_inputs = [memo.get(v.node_id, v) for v in graph.inputs]
+    return Graph(new_inputs, new_output, name=graph.name)

@@ -1,0 +1,33 @@
+"""Legalization utilities.
+
+The paper deploys fully-connected layers on DIANA's analog accelerator
+"by implementing FC layers as Conv2Ds". :func:`dense_to_conv2d` performs
+that rewrite at graph level: ``nn.dense`` over ``[1, C]`` becomes a 1x1
+``nn.conv2d`` over ``[1, C, 1, 1]`` (with the weight reshaped OIHW),
+bracketed by reshapes so surrounding shapes are preserved.
+"""
+
+from __future__ import annotations
+
+from ..ir import Call, Constant, ConstantTensor, Graph, Node
+
+
+def dense_to_conv2d(graph: Graph) -> Graph:
+    """Rewrite every ``nn.dense`` into an equivalent 1x1 ``nn.conv2d``."""
+
+    def rewriter(node: Node, new_inputs):
+        if not isinstance(node, Call) or node.op != "nn.dense":
+            return None
+        data, weight = new_inputs
+        if not isinstance(weight, Constant):
+            return None  # dynamic weights are out of scope
+        n, c = data.shape
+        k = weight.shape[0]
+        as_nchw = Call("reshape", [data], {"newshape": (n, c, 1, 1)})
+        w4 = Constant(ConstantTensor(
+            weight.value.data.reshape(k, c, 1, 1), weight.dtype.name))
+        conv = Call("nn.conv2d", [as_nchw, w4],
+                    {"out_dtype": node.attrs["out_dtype"]})
+        return Call("reshape", [conv], {"newshape": (n, k)})
+
+    return graph.rewrite(rewriter)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.ir.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    FLOAT32, INT7, INT8, INT32, TERNARY, all_dtypes, dtype, is_integer,
+)
+
+
+class TestRanges:
+    def test_int8_range(self):
+        assert INT8.min_value == -128
+        assert INT8.max_value == 127
+
+    def test_int7_range(self):
+        assert INT7.min_value == -64
+        assert INT7.max_value == 63
+
+    def test_ternary_range(self):
+        assert TERNARY.min_value == -1
+        assert TERNARY.max_value == 1
+
+    def test_int32_range(self):
+        assert INT32.min_value == -(1 << 31)
+        assert INT32.max_value == (1 << 31) - 1
+
+
+class TestStorage:
+    def test_int8_storage(self):
+        assert INT8.storage_bytes(100) == 100
+
+    def test_ternary_packed_storage(self):
+        # 2 bits each, four per byte
+        assert TERNARY.storage_bytes(4) == 1
+        assert TERNARY.storage_bytes(5) == 2
+        assert TERNARY.storage_bytes(1000) == 250
+
+    def test_int7_stored_as_byte(self):
+        assert INT7.storage_bytes(10) == 10
+
+    def test_int32_storage(self):
+        assert INT32.storage_bytes(3) == 12
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert dtype("int8") is INT8
+        assert dtype("ternary") is TERNARY
+
+    def test_lookup_passthrough(self):
+        assert dtype(INT8) is INT8
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(IRError, match="unknown dtype"):
+            dtype("int13")
+
+    def test_all_dtypes_stable(self):
+        names = [d.name for d in all_dtypes()]
+        assert names == sorted(names)
+        assert "int8" in names and "ternary" in names
+
+
+class TestNumpyMapping:
+    def test_numpy_dtypes(self):
+        assert INT8.to_numpy() == np.int8
+        assert INT32.to_numpy() == np.int32
+        assert TERNARY.to_numpy() == np.int8
+        assert FLOAT32.to_numpy() == np.float32
+
+    def test_is_integer(self):
+        assert is_integer(INT8)
+        assert is_integer(TERNARY)
+        assert not is_integer(FLOAT32)
+
+    def test_str(self):
+        assert str(INT8) == "int8"

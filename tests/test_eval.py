@@ -1,0 +1,166 @@
+"""Evaluation harness tests: Table I cells, Fig. 4/5, Table II, claims."""
+
+import pytest
+
+from repro.eval import deploy, fig4, fig5, paper, run_table1, summarize_claims
+from repro.eval.fig4 import Fig4Point, max_heuristic_speedup
+from repro.eval.fig5 import loss_stats
+from repro.eval.harness import CONFIGS, format_table1
+from repro.eval.sota import format_table2, run_table2, speedups
+
+
+class TestDeploy:
+    def test_resnet_digital_cell(self):
+        r = deploy("resnet", "digital")
+        assert r.verified is True
+        assert not r.oom
+        assert r.peak_ms <= r.latency_ms
+        # paper: 0.66 / 1.19 ms — same order of magnitude
+        assert 0.2 < r.latency_ms < 3.0
+
+    def test_mobilenet_tvm_oom_cell(self):
+        r = deploy("mobilenet", "cpu-tvm", verify=False)
+        assert r.oom
+        assert r.latency_ms is None
+        assert r.size_kb is not None  # size still reported
+
+    def test_resnet_cpu_matches_paper_closely(self):
+        r = deploy("resnet", "cpu-tvm")
+        ref = paper.TABLE1["resnet"]["cpu-tvm"][1]
+        assert abs(r.latency_ms - ref) / ref < 0.15
+
+    def test_toyadmos_all_configs(self):
+        for config in CONFIGS:
+            r = deploy("toyadmos", config)
+            assert not r.oom
+            assert r.verified in (True, None)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            deploy("alexnet", "digital")
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_table1(models=["resnet", "dscnn"])
+
+    def test_all_cells_present(self, results):
+        assert len(results) == 2 * 4
+
+    def test_accelerated_faster_than_cpu(self, results):
+        by_key = {(r.model, r.config): r for r in results}
+        for model in ("resnet", "dscnn"):
+            cpu = by_key[(model, "cpu-tvm")].latency_ms
+            dig = by_key[(model, "digital")].latency_ms
+            assert cpu / dig > 20
+
+    def test_analog_slower_than_digital_on_these(self, results):
+        by_key = {(r.model, r.config): r for r in results}
+        for model in ("resnet", "dscnn"):
+            assert (by_key[(model, "analog")].latency_ms
+                    > by_key[(model, "digital")].latency_ms)
+
+    def test_formatting(self, results):
+        text = format_table1(results)
+        assert "resnet" in text and "paper HTVM" in text
+
+    def test_claims(self, results):
+        full = results + run_table1(models=["toyadmos"])
+        claims = summarize_claims(full)
+        # paper: 112x digital / 120x mixed for ResNet; ours is the same
+        # order of magnitude
+        assert claims["resnet_digital_speedup_over_tvm"] > 50
+        assert claims["dscnn_mixed_speedup_over_analog"] > 4
+        assert 0.05 < claims["resnet_binary_reduction"] < 0.3
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig4.sweep(budgets=[256 * 1024, 32 * 1024, 8 * 1024, 4 * 1024])
+
+    def test_point_count(self, points):
+        assert len(points) == 4 * 3 * 4
+
+    def test_no_tiling_in_grey_area(self, points):
+        for p in points:
+            if p.layer == "L0" and p.budget_bytes == 256 * 1024:
+                assert p.needs_tiling is False
+
+    def test_heuristics_never_slower(self, points):
+        by_key = {}
+        for p in points:
+            if p.cycles is not None:
+                by_key.setdefault((p.layer, p.budget_bytes), {})[p.strategy] = p.cycles
+        for cell in by_key.values():
+            if "baseline" in cell and "full" in cell:
+                assert cell["full"] <= cell["baseline"] * 1.05
+
+    def test_speedup_materializes_somewhere(self, points):
+        assert max_heuristic_speedup(points) > 1.2
+
+    def test_latency_grows_as_budget_shrinks(self, points):
+        series = sorted(
+            (p.budget_bytes, p.cycles) for p in points
+            if p.layer == "L3" and p.strategy == "full" and p.cycles)
+        assert series[0][1] >= series[-1][1]
+
+    def test_format(self, points):
+        text = fig4.format_fig4(points)
+        assert "Fig. 4" in text and "L3" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return fig5.characterize()
+
+    def test_all_series_present(self, points):
+        assert {p.series for p in points} == set(fig5.SERIES)
+
+    def test_losses_match_paper_shape(self, points):
+        stats = loss_stats(points)
+        # digital conv keeps low overhead
+        assert stats["digital_conv_spatial"]["min"] < 0.10
+        # FC is the worst offender (paper: ~54.5%)
+        assert stats["digital_fc_channel"]["max"] > 0.30
+        # DW bounded (paper: never more than 20.7%)
+        assert stats["digital_dwconv"]["max"] < 0.207
+        # analog conv small-on-average (paper: 5.2%)
+        assert stats["analog_conv_channel"]["mean"] < 0.15
+
+    def test_peak_throughput_near_array_peak(self, points):
+        dig = [p for p in points if p.series == "digital_conv_spatial"]
+        best = max(p.peak_throughput for p in dig)
+        assert 180 < best <= 256  # paper: avg 15.5% below 256 peak
+
+    def test_dw_peak_bounded_at_375(self, points):
+        dw = [p for p in points if p.series == "digital_dwconv"]
+        assert all(p.peak_throughput <= 3.75 + 1e-6 for p in dw)
+
+    def test_format(self, points):
+        assert "Fig. 5" in fig5.format_fig5(points)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table2()
+
+    def test_published_columns_intact(self, table):
+        assert table["resnet"]["stm32-tvm"] == 180.0
+        assert table["toyadmos"]["gap9-gapflow"] == 0.256
+
+    def test_beats_stm32_by_two_orders(self, table):
+        sp = speedups(table)
+        # paper: 150x vs STM32 TVM on ResNet
+        assert sp["resnet"]["stm32-tvm"] > 50
+
+    def test_gap9_remains_faster(self, table):
+        sp = speedups(table)
+        assert sp["mobilenet"]["gap9-gapflow"] < 1.0
+
+    def test_format(self, table):
+        text = format_table2(table)
+        assert "Table II" in text and "vs STM-TVM" in text

@@ -1,0 +1,171 @@
+"""Executor tests — the core bit-exactness guarantee.
+
+The flagship property: for random layer geometries and L1 budgets, the
+*tiled* accelerator execution (halos, edge padding, C-blocks with int32
+partial sums, K blocks) is byte-identical to the reference interpreter.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compiler import compile_model
+from repro.core.config import HTVM, TVM_CPU
+from repro.errors import SimulationError
+from repro.ir import GraphBuilder
+from repro.runtime import Executor, random_inputs, run_reference
+from repro.soc import DianaParams, DianaSoC
+from conftest import assert_compiled_matches_reference, build_small_cnn
+
+
+class TestSmallGraphs:
+    def test_small_cnn_htvm(self, soc, small_cnn):
+        assert_compiled_matches_reference(small_cnn, soc)
+
+    def test_small_cnn_cpu_baseline(self, cpu_soc, small_cnn):
+        assert_compiled_matches_reference(small_cnn, cpu_soc, TVM_CPU)
+
+    def test_missing_feed_raises(self, soc, small_cnn):
+        model = compile_model(small_cnn, soc, HTVM)
+        with pytest.raises(SimulationError, match="missing input"):
+            Executor(soc).run(model, {})
+
+    def test_wrong_shape_raises(self, soc, small_cnn):
+        model = compile_model(small_cnn, soc, HTVM)
+        with pytest.raises(SimulationError, match="expected"):
+            Executor(soc).run(model, {"data": np.zeros((1, 3, 4, 4), np.int8)})
+
+    def test_counters_populated(self, soc, small_cnn):
+        model, result = assert_compiled_matches_reference(small_cnn, soc)
+        assert result.total_cycles > 0
+        assert result.peak_cycles <= result.total_cycles
+        assert len(result.perf.records) == len(model.steps)
+
+    def test_accel_cycles_dominate_for_cnn(self, digital_soc, small_cnn):
+        _, result = assert_compiled_matches_reference(small_cnn, digital_soc)
+        by_target = result.perf.cycles_by_target()
+        assert "soc.digital" in by_target
+
+    def test_deterministic_cycles(self, soc, small_cnn):
+        model = compile_model(small_cnn, soc, HTVM)
+        feeds = random_inputs(small_cnn, seed=0)
+        ex = Executor(soc)
+        a = ex.run(model, feeds).total_cycles
+        b = ex.run(model, feeds).total_cycles
+        assert a == b
+
+
+def _single_conv_graph(c, k, hw, f, stride, pad, depthwise, seed):
+    b = GraphBuilder(seed=seed)
+    x = b.input("x", (1, c, hw, hw), "int8")
+    if depthwise:
+        y = b.dwconv2d_requant(x, kernel=f, strides=stride, padding=pad)
+    else:
+        y = b.conv2d_requant(x, k, kernel=f, strides=stride, padding=pad,
+                             relu=bool(seed % 2))
+    return b.finish(y)
+
+
+conv_cases = st.tuples(
+    st.integers(1, 24),                  # C
+    st.integers(1, 24),                  # K
+    st.sampled_from([5, 8, 11, 16]),     # spatial
+    st.sampled_from([1, 3]),             # filter
+    st.sampled_from([1, 2]),             # stride
+    st.booleans(),                       # depthwise
+    st.integers(0, 2 ** 30),             # seed
+)
+
+
+class TestTiledExecutionProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(conv_cases, st.sampled_from([1536, 4096, 16384, 256 * 1024]))
+    def test_tiled_conv_bit_exact(self, case, budget):
+        c, k, hw, f, stride, depthwise, seed = case
+        pad = 1 if f == 3 else 0
+        graph = _single_conv_graph(c, k, hw, f, stride, pad, depthwise, seed)
+        params = DianaParams()
+        soc = DianaSoC(params=params, enable_analog=False)
+        cfg = HTVM.with_overrides(l1_budget=budget, check_l2=False)
+        from repro.errors import TilingError
+        try:
+            model = compile_model(graph, soc, cfg)
+        except TilingError:
+            return
+        feeds = random_inputs(graph, seed=seed + 1)
+        result = Executor(soc).run(model, feeds)
+        np.testing.assert_array_equal(
+            result.output, run_reference(model.graph, feeds))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 640), st.integers(1, 300), st.integers(0, 2 ** 30))
+    def test_tiled_dense_bit_exact(self, c, k, seed):
+        b = GraphBuilder(seed=seed)
+        x = b.input("x", (1, c), "int8")
+        graph = b.finish(b.dense_requant(x, k, relu=bool(seed % 2)))
+        soc = DianaSoC(enable_analog=False)
+        model = compile_model(graph, soc, HTVM.with_overrides(check_l2=False))
+        feeds = random_inputs(graph, seed=seed)
+        result = Executor(soc).run(model, feeds)
+        np.testing.assert_array_equal(
+            result.output, run_reference(model.graph, feeds))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 32), st.sampled_from([4, 8, 12]),
+           st.integers(0, 2 ** 30))
+    def test_tiled_add_bit_exact(self, c, hw, seed):
+        b = GraphBuilder(seed=seed)
+        x = b.input("x", (1, c, hw, hw), "int8")
+        y = b.input("y", (1, c, hw, hw), "int8")
+        graph = b.finish(b.add_requant(x, y, shift=1))
+        soc = DianaSoC(enable_analog=False)
+        cfg = HTVM.with_overrides(l1_budget=1024, check_l2=False)
+        from repro.errors import TilingError
+        try:
+            model = compile_model(graph, soc, cfg)
+        except TilingError:
+            return
+        feeds = random_inputs(graph, seed=seed)
+        result = Executor(soc).run(model, feeds)
+        np.testing.assert_array_equal(
+            result.output, run_reference(model.graph, feeds))
+
+
+class TestAnalogExecution:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 160), st.integers(1, 48),
+           st.sampled_from([4, 8, 12]), st.integers(0, 2 ** 30))
+    def test_analog_conv_bit_exact(self, c, k, hw, seed):
+        # large C exercises the >1152-row macro block path
+        b = GraphBuilder(seed=seed)
+        x = b.input("x", (1, c, hw, hw), "int7")
+        y = b.conv2d_requant(x, k, kernel=3, padding=(1, 1),
+                             weight_dtype="ternary", shift=4,
+                             out_dtype="int7")
+        graph = b.finish(y)
+        soc = DianaSoC(enable_digital=False)
+        model = compile_model(graph, soc, HTVM.with_overrides(check_l2=False))
+        comp_targets = [s.target for s in model.steps]
+        assert "soc.analog" in comp_targets
+        feeds = random_inputs(graph, seed=seed + 7)
+        result = Executor(soc).run(model, feeds)
+        np.testing.assert_array_equal(
+            result.output, run_reference(model.graph, feeds))
+
+    def test_analog_weight_load_charged_once(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 16, 24, 24), "int7")
+        graph = b.finish(b.conv2d_requant(
+            x, 16, kernel=3, padding=(1, 1), weight_dtype="ternary",
+            shift=4, out_dtype="int7"))
+        soc = DianaSoC(enable_digital=False)
+        # force row tiling with a small L1 budget
+        model = compile_model(graph, soc, HTVM.with_overrides(
+            l1_budget=8 * 1024, check_l2=False))
+        result = Executor(soc).run(model, random_inputs(graph, seed=1))
+        rec = [r for r in result.perf.records if r.target == "soc.analog"][0]
+        assert rec.num_tiles > 1
+        accel = soc.accelerator("soc.analog")
+        spec = model.steps[0].spec
+        expected = accel.weight_load_cycles(spec, 16, 16)
+        assert rec.cycles["weight_dma"] == pytest.approx(expected)

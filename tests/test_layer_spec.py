@@ -1,0 +1,111 @@
+"""LayerSpec extraction and construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.dory import LayerSpec, make_conv_spec, make_dense_spec, spec_from_composite
+from repro.errors import UnsupportedError
+from repro.ir import GraphBuilder
+from repro.patterns import default_specs, partition
+from conftest import build_small_cnn
+
+
+def first_composite(graph, pattern):
+    for comp in graph.composites():
+        if comp.pattern_name == pattern:
+            return comp
+    raise AssertionError(f"no composite {pattern}")
+
+
+class TestFromComposite:
+    def test_conv_spec(self, small_cnn):
+        pg = partition(small_cnn, default_specs())
+        comp = first_composite(pg, "htvm.qconv2d")
+        spec = spec_from_composite(comp, "L")
+        assert spec.kind == "conv2d"
+        assert spec.in_channels == 3
+        assert spec.out_channels == 16
+        assert (spec.iy, spec.ix) == (16, 16)
+        assert spec.padding == (1, 1)
+        assert spec.relu is True
+        assert spec.shift == 8
+        assert spec.weight.shape == (16, 3, 3, 3)
+        assert spec.bias.shape == (16,)
+
+    def test_dense_spec(self, small_cnn):
+        pg = partition(small_cnn, default_specs())
+        comp = first_composite(pg, "htvm.qdense")
+        spec = spec_from_composite(comp, "fc")
+        assert spec.kind == "dense"
+        assert spec.out_channels == 10
+        assert spec.relu is False
+
+    def test_add_spec(self, small_cnn):
+        pg = partition(small_cnn, default_specs())
+        comp = first_composite(pg, "htvm.qadd")
+        spec = spec_from_composite(comp, "add")
+        assert spec.kind == "add"
+        assert spec.macs() == 0
+
+    def test_dwconv_spec(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 8, 8, 8), "int8")
+        g = partition(b.finish(b.dwconv2d_requant(x, padding=(1, 1))),
+                      default_specs())
+        spec = spec_from_composite(first_composite(g, "htvm.qconv2d"), "dw")
+        assert spec.kind == "dwconv2d"
+        assert spec.groups == 8
+        assert spec.macs() == 8 * 9 * 8 * 8
+
+    def test_ternary_weight_dtype(self):
+        from repro.frontend.modelzoo import resnet8
+        pg = partition(resnet8(precision="ternary"), default_specs())
+        comp = first_composite(pg, "htvm.qconv2d")
+        spec = spec_from_composite(comp, "c")
+        assert spec.weight_dtype == "ternary"
+        assert spec.in_dtype == "int7"
+
+
+class TestConstructors:
+    def test_fig4_geometry(self):
+        from repro.frontend.modelzoo import fig4_layers
+        layers = fig4_layers()
+        macs = [round(s.macs() / 1e6, 2) for s in layers]
+        assert macs == [2.36, 9.44, 18.87, 75.5]
+        params_kb = [s.weight_elements() / 1024 for s in layers]
+        assert params_kb == [2.25, 9.0, 18.0, 72.0]
+
+    def test_make_dense(self):
+        s = make_dense_spec("fc", 640, 128)
+        assert s.macs() == 640 * 128
+        assert s.input_elements() == 640
+
+    def test_ternary_spec_dtypes(self):
+        s = make_conv_spec("c", 16, 16, 8, 8, padding=(1, 1),
+                           weight_dtype="ternary")
+        assert s.in_dtype == "int7"
+
+    def test_input_tile_hw_halo(self):
+        s = make_conv_spec("c", 8, 8, 16, 16, fy=3, fx=3, padding=(1, 1))
+        assert s.input_tile_hw(4, 4) == (6, 6)
+        s2 = make_conv_spec("c", 8, 8, 16, 16, fy=3, fx=3, strides=(2, 2),
+                            padding=(1, 1))
+        assert s2.input_tile_hw(4, 4) == (9, 9)
+
+    def test_validate_rejects_bad_geometry(self):
+        s = make_conv_spec("c", 8, 8, 16, 16, padding=(1, 1))
+        s.oy = 99
+        with pytest.raises(UnsupportedError):
+            s.validate()
+
+    def test_validate_rejects_bad_kind(self):
+        s = make_dense_spec("fc", 4, 4)
+        s.kind = "lstm"
+        with pytest.raises(UnsupportedError):
+            s.validate()
+
+    def test_dw_requires_equal_channels(self):
+        s = make_conv_spec("dw", 8, 8, 8, 8, padding=(1, 1), depthwise=True)
+        s.out_channels = 16
+        with pytest.raises(UnsupportedError):
+            s.validate()

@@ -1,0 +1,99 @@
+"""L2 memory planner tests, incl. the no-overlap property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dory import TensorLife, lifetimes_from_steps, plan_memory
+
+
+def overlapping_pairs(plan, entries):
+    out = []
+    for i, a in enumerate(entries):
+        for b in entries[i + 1:]:
+            live = not (a.end < b.start or b.end < a.start)
+            ao, bo = plan.offsets[a.name], plan.offsets[b.name]
+            mem = not (ao + a.size <= bo or bo + b.size <= ao)
+            if live and mem:
+                out.append((a.name, b.name))
+    return out
+
+
+class TestPlanMemory:
+    def test_disjoint_lifetimes_share_memory(self):
+        entries = [TensorLife("a", 100, 0, 1), TensorLife("b", 100, 2, 3)]
+        plan = plan_memory(entries)
+        assert plan.arena_bytes == 100
+        assert plan.offsets["a"] == plan.offsets["b"] == 0
+
+    def test_overlapping_lifetimes_disjoint_memory(self):
+        entries = [TensorLife("a", 100, 0, 2), TensorLife("b", 100, 1, 3)]
+        plan = plan_memory(entries)
+        assert plan.arena_bytes == 200
+        assert not overlapping_pairs(plan, entries)
+
+    def test_no_reuse_stacks_everything(self):
+        entries = [TensorLife("a", 100, 0, 1), TensorLife("b", 100, 2, 3)]
+        plan = plan_memory(entries, reuse=False)
+        assert plan.arena_bytes == 200
+
+    def test_alignment(self):
+        entries = [TensorLife("a", 3, 0, 5), TensorLife("b", 3, 0, 5)]
+        plan = plan_memory(entries, alignment=4)
+        offs = sorted(plan.offsets.values())
+        assert offs[1] % 4 == 0
+
+    def test_empty(self):
+        plan = plan_memory([])
+        assert plan.arena_bytes == 0
+
+    def test_report_mentions_tensors(self):
+        plan = plan_memory([TensorLife("act0", 64, 0, 1)])
+        assert "act0" in plan.report()
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(1, 4096),  # size
+                  st.integers(0, 10),    # start
+                  st.integers(0, 10)),   # extra lifetime
+        min_size=1, max_size=20))
+    def test_property_no_live_overlap(self, raw):
+        entries = [
+            TensorLife(f"t{i}", size, start, start + extra)
+            for i, (size, start, extra) in enumerate(raw)
+        ]
+        plan = plan_memory(entries)
+        assert not overlapping_pairs(plan, entries)
+        assert plan.arena_bytes <= sum(
+            e.size + 3 for e in entries)  # never worse than stacking
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(
+        st.tuples(st.integers(1, 1024), st.integers(0, 6), st.integers(0, 6)),
+        min_size=1, max_size=12))
+    def test_property_reuse_never_bigger_than_no_reuse(self, raw):
+        entries = [
+            TensorLife(f"t{i}", size, start, start + extra)
+            for i, (size, start, extra) in enumerate(raw)
+        ]
+        reuse = plan_memory(entries).arena_bytes
+        stacked = plan_memory(entries, reuse=False).arena_bytes
+        assert reuse <= stacked
+
+
+class TestLifetimesFromSteps:
+    def test_basic_chain(self):
+        step_io = [(["in"], "a"), (["a"], "b"), (["b"], "out")]
+        sizes = {"in": 10, "a": 20, "b": 30, "out": 5}
+        entries = lifetimes_from_steps(step_io, sizes, ["in"], "out")
+        by_name = {e.name: e for e in entries}
+        assert by_name["in"].start == -1
+        assert by_name["in"].end == 0
+        assert by_name["a"].start == 0 and by_name["a"].end == 1
+        assert by_name["out"].end == 3  # output lives past the last step
+
+    def test_residual_extends_lifetime(self):
+        step_io = [(["in"], "a"), (["a"], "b"), (["a", "b"], "c")]
+        sizes = {"in": 1, "a": 1, "b": 1, "c": 1}
+        entries = lifetimes_from_steps(step_io, sizes, ["in"], "c")
+        by_name = {e.name: e for e in entries}
+        assert by_name["a"].end == 2  # used by the residual add

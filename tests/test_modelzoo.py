@@ -1,0 +1,144 @@
+"""Model zoo tests: topology, MAC counts, precision variants."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import INT8, MIXED, PRECISIONS, TERNARY, layer_quant
+from repro.frontend.modelzoo import (
+    MLPERF_TINY, dscnn, mobilenet_v1, resnet8, toyadmos_dae,
+)
+from repro.runtime import random_inputs, run_reference
+
+
+class TestTopologies:
+    def test_resnet_macs(self):
+        # MLPerf Tiny ResNet-8 is ~12.5 MMACs
+        macs = resnet8().total_macs()
+        assert 12.0e6 < macs < 13.0e6
+
+    def test_resnet_output(self):
+        g = resnet8()
+        out = run_reference(g, random_inputs(g, seed=0))
+        assert out.shape == (1, 10)
+        assert abs(out.sum() - 1.0) < 1e-4
+
+    def test_dscnn_geometry(self):
+        g = dscnn()
+        out = run_reference(g, random_inputs(g, seed=0))
+        assert out.shape == (1, 12)
+        convs = [c for c in g.calls() if c.op == "nn.conv2d"]
+        # input conv maps 49x10 -> 25x5
+        assert convs[0].shape == (1, 64, 25, 5)
+
+    def test_dscnn_has_adapted_input_filter(self):
+        g = dscnn()
+        conv1 = [c for c in g.calls() if c.op == "nn.conv2d"][0]
+        assert conv1.inputs[1].shape[2:] == (7, 5)  # paper footnote
+
+    def test_mobilenet_layer_count(self):
+        g = mobilenet_v1()
+        convs = [c for c in g.calls() if c.op == "nn.conv2d"]
+        assert len(convs) == 27  # conv1 + 13 x (dw + pw)
+        dw = [c for c in convs if c.attrs["groups"] > 1]
+        assert len(dw) == 13
+
+    def test_mobilenet_output(self):
+        g = mobilenet_v1()
+        out = run_reference(g, random_inputs(g, seed=0))
+        assert out.shape == (1, 2)
+
+    def test_toyadmos_params(self):
+        g = toyadmos_dae()
+        # ~264k weight parameters (FC weights dominate)
+        weights = sum(
+            c.value.data.size for c in g.constants()
+            if c.value.data.ndim == 2)
+        assert 260_000 < weights < 275_000
+
+    def test_toyadmos_output_shape(self):
+        g = toyadmos_dae()
+        out = run_reference(g, random_inputs(g, seed=0))
+        assert out.shape == (1, 640)
+
+    def test_registry_complete(self):
+        assert set(MLPERF_TINY) == {"dscnn", "mobilenet", "resnet", "toyadmos"}
+
+
+class TestPrecisionVariants:
+    @pytest.mark.parametrize("model", list(MLPERF_TINY))
+    @pytest.mark.parametrize("precision", PRECISIONS)
+    def test_all_variants_build_and_run(self, model, precision):
+        g = MLPERF_TINY[model](precision=precision)
+        out = run_reference(g, random_inputs(g, seed=1))
+        assert np.isfinite(np.asarray(out, dtype=np.float64)).all()
+
+    def test_ternary_weights_are_ternary(self):
+        g = resnet8(precision=TERNARY)
+        convs = [c for c in g.calls() if c.op == "nn.conv2d"]
+        for conv in convs:
+            w = conv.inputs[1]
+            assert w.dtype.name == "ternary"
+            assert set(np.unique(w.value.data)) <= {-1, 0, 1}
+
+    def test_mixed_first_and_last_are_int8(self):
+        g = resnet8(precision=MIXED)
+        mac_weights = [
+            c.inputs[1] for c in g.calls()
+            if c.op in ("nn.conv2d", "nn.dense")
+        ]
+        assert mac_weights[0].dtype.name == "int8"
+        assert mac_weights[-1].dtype.name == "int8"
+        middle = {w.dtype.name for w in mac_weights[1:-1]}
+        assert "ternary" in middle
+
+    def test_ternary_dw_stays_int8(self):
+        g = mobilenet_v1(precision=TERNARY)
+        for c in g.calls():
+            if c.op == "nn.conv2d" and c.attrs["groups"] > 1:
+                assert c.inputs[1].dtype.name == "int8"
+
+    def test_ternary_activations_are_7bit(self):
+        g = resnet8(precision=TERNARY)
+        feeds = random_inputs(g, seed=0)
+        assert feeds["data"].min() >= -64 and feeds["data"].max() <= 63
+
+    def test_seed_changes_weights(self):
+        a = resnet8(seed=0)
+        b = resnet8(seed=1)
+        wa = a.constants()[0].value.data
+        wb = b.constants()[0].value.data
+        assert not np.array_equal(wa, wb)
+
+    def test_same_seed_reproducible(self):
+        a = resnet8(seed=5).constants()[0].value.data
+        b = resnet8(seed=5).constants()[0].value.data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLayerQuantPolicy:
+    def test_int8(self):
+        q = layer_quant(INT8, 3, 10)
+        assert (q.weight_dtype, q.act_dtype) == ("int8", "int8")
+
+    def test_ternary_dw_exception(self):
+        assert layer_quant(TERNARY, 3, 10).weight_dtype == "ternary"
+        assert layer_quant(TERNARY, 3, 10, depthwise=True).weight_dtype == "int8"
+
+    def test_mixed_boundaries(self):
+        assert layer_quant(MIXED, 0, 10).weight_dtype == "int8"
+        assert layer_quant(MIXED, 9, 10).weight_dtype == "int8"
+        assert layer_quant(MIXED, 5, 10).weight_dtype == "ternary"
+        assert layer_quant(MIXED, 5, 10, depthwise=True).weight_dtype == "int8"
+
+    def test_unknown_precision(self):
+        from repro.errors import UnsupportedError
+        with pytest.raises(UnsupportedError):
+            layer_quant("int4", 0, 1)
+
+    def test_eligible_count_enforced(self):
+        from repro.frontend.modelzoo.common import QuantNetBuilder
+        nb = QuantNetBuilder("t", INT8, num_eligible=2, seed=0)
+        x = nb.input("x", (1, 4, 8, 8))
+        y = nb.conv(x, 4, kernel=1)
+        with pytest.raises(AssertionError):
+            nb.finish(y)

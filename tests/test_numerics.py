@@ -1,0 +1,176 @@
+"""Tests for the shared integer numpy kernels, incl. property tests
+against straightforward loop-nest oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import numerics as K
+from repro.errors import SimulationError
+
+
+def naive_conv2d(x, w, strides, padding, groups):
+    """O(n^7) oracle implementation."""
+    n, c, ih, iw = x.shape
+    k, cg, fh, fw = w.shape
+    sh, sw = strides
+    xp = np.pad(x.astype(np.int64),
+                ((0, 0), (0, 0), (padding[0],) * 2, (padding[1],) * 2))
+    oh = (xp.shape[2] - fh) // sh + 1
+    ow = (xp.shape[3] - fw) // sw + 1
+    out = np.zeros((n, k, oh, ow), dtype=np.int64)
+    kg = k // groups
+    for b in range(n):
+        for kk in range(k):
+            g = kk // kg
+            for oy in range(oh):
+                for ox in range(ow):
+                    acc = 0
+                    for cc in range(cg):
+                        for fy in range(fh):
+                            for fx in range(fw):
+                                acc += (int(xp[b, g * cg + cc,
+                                               oy * sh + fy, ox * sw + fx])
+                                        * int(w[kk, cc, fy, fx]))
+                    out[b, kk, oy, ox] = acc
+    return out.astype(np.int32)
+
+
+small_conv = st.tuples(
+    st.integers(1, 3),   # C per group
+    st.integers(1, 3),   # K per group
+    st.integers(1, 2),   # groups
+    st.integers(3, 7),   # spatial
+    st.integers(1, 3),   # filter
+    st.integers(1, 2),   # stride
+    st.integers(0, 1),   # padding
+)
+
+
+class TestConv2dProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(small_conv, st.integers(0, 2 ** 31 - 1))
+    def test_matches_naive(self, dims, seed):
+        cg, kg, groups, hw, f, s, p = dims
+        if f > hw + 2 * p:
+            return
+        rng = np.random.default_rng(seed)
+        c, k = cg * groups, kg * groups
+        x = rng.integers(-128, 128, (1, c, hw, hw), dtype=np.int64).astype(np.int8)
+        w = rng.integers(-128, 128, (k, cg, f, f), dtype=np.int64).astype(np.int8)
+        got = K.conv2d(x, w, (s, s), (p, p), groups)
+        want = naive_conv2d(x, w, (s, s), (p, p), groups)
+        np.testing.assert_array_equal(got, want)
+
+    def test_depthwise_equals_grouped(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(-128, 128, (1, 4, 6, 6)).astype(np.int8)
+        w = rng.integers(-128, 128, (4, 1, 3, 3)).astype(np.int8)
+        got = K.conv2d(x, w, (1, 1), (1, 1), groups=4)
+        want = naive_conv2d(x, w, (1, 1), (1, 1), 4)
+        np.testing.assert_array_equal(got, want)
+
+    def test_group_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            K.conv2d(np.zeros((1, 3, 4, 4), np.int8),
+                     np.zeros((4, 3, 1, 1), np.int8), groups=2)
+
+
+class TestDense:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 32), st.integers(1, 32), st.integers(0, 2 ** 31 - 1))
+    def test_matches_matmul(self, c, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-128, 128, (1, c)).astype(np.int8)
+        w = rng.integers(-128, 128, (k, c)).astype(np.int8)
+        got = K.dense(x, w)
+        want = x.astype(np.int64) @ w.astype(np.int64).T
+        np.testing.assert_array_equal(got, want.astype(np.int32))
+
+
+class TestRightShift:
+    def test_round_half_up(self):
+        x = np.array([3, -3, 2, -2, 1, -1], dtype=np.int32)
+        got = K.right_shift(x, 1)
+        # (x + 1) >> 1
+        np.testing.assert_array_equal(got, [2, -1, 1, -1, 1, 0])
+
+    def test_zero_shift_identity(self):
+        x = np.array([5, -7], dtype=np.int32)
+        np.testing.assert_array_equal(K.right_shift(x, 0), x)
+
+    def test_no_rounding_mode(self):
+        x = np.array([3, -3], dtype=np.int32)
+        np.testing.assert_array_equal(K.right_shift(x, 1, rounding=False),
+                                      [1, -2])
+
+    def test_negative_shift_raises(self):
+        with pytest.raises(SimulationError):
+            K.right_shift(np.array([1]), -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-(1 << 20), 1 << 20), st.integers(1, 16))
+    def test_matches_float_rounding(self, value, shift):
+        got = int(K.right_shift(np.array([value], np.int32), shift)[0])
+        want = int(np.floor((value + (1 << (shift - 1))) / (1 << shift)))
+        assert got == want
+
+
+class TestPooling:
+    def test_avg_pool_rounding(self):
+        x = np.array([[[[1, 2], [3, 5]]]], dtype=np.int8)
+        out = K.avg_pool2d(x, (2, 2), (2, 2), (0, 0))
+        # (1+2+3+5+2)//4 = 3 (round-half-up)
+        assert out[0, 0, 0, 0] == 3
+
+    def test_max_pool_padding_never_wins(self):
+        x = np.full((1, 1, 2, 2), -5, dtype=np.int8)
+        out = K.max_pool2d(x, (2, 2), (2, 2), (1, 1))
+        assert out.max() == -5
+
+    def test_global_avg_pool(self):
+        x = np.arange(16, dtype=np.int8).reshape(1, 1, 4, 4)
+        out = K.global_avg_pool2d(x)
+        assert out.shape == (1, 1, 1, 1)
+        assert out[0, 0, 0, 0] == 8  # (120 + 8) // 16
+
+    def test_avg_pool_negative_round(self):
+        x = np.full((1, 1, 2, 2), -1, dtype=np.int8)
+        out = K.avg_pool2d(x, (2, 2), (2, 2), (0, 0))
+        assert out[0, 0, 0, 0] == -1  # (-4 + 2) // 4 = -1 (floor)
+
+
+class TestSoftmaxRequant:
+    def test_softmax_sums_to_one(self):
+        x = np.array([[1, 2, 3, 4]], dtype=np.int8)
+        out = K.softmax(x)
+        assert out.dtype == np.float32
+        assert abs(out.sum() - 1.0) < 1e-5
+
+    def test_softmax_overflow_safe(self):
+        x = np.array([[127, -128]], dtype=np.int8)
+        out = K.softmax(x)
+        assert np.isfinite(out).all()
+
+    def test_requantize_clip_and_relu(self):
+        acc = np.array([10000, -10000, 64], dtype=np.int32)
+        out = K.requantize(acc, 2, relu_after=True)
+        assert out.dtype == np.int8
+        np.testing.assert_array_equal(out, [127, 0, 16])
+
+    def test_requantize_int7_range(self):
+        acc = np.array([10000, -10000], dtype=np.int32)
+        out = K.requantize(acc, 0, False, a_min=-64, a_max=63)
+        np.testing.assert_array_equal(out, [63, -64])
+
+
+class TestPad:
+    def test_pad_nchw_identity(self):
+        x = np.ones((1, 2, 3, 3), np.int8)
+        assert K.pad_nchw(x, (0, 0)) is x
+
+    def test_pad_values(self):
+        x = np.ones((1, 1, 2, 2), np.int8)
+        out = K.pad_nchw(x, (1, 1), value=7)
+        assert out.shape == (1, 1, 4, 4)
+        assert out[0, 0, 0, 0] == 7

@@ -1,0 +1,165 @@
+"""Shape/dtype inference tests for every registered operator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, ShapeError
+from repro.ir import (
+    Call, Constant, ConstantTensor, GraphBuilder, TensorType, Var, all_ops,
+    conv2d_output_hw, get_op,
+)
+
+
+def var(shape, dt="int8", name="x"):
+    return Var(name, TensorType(shape, dt))
+
+
+def const(arr, dt="int8"):
+    return Constant(ConstantTensor(np.asarray(arr), dt))
+
+
+class TestConv2d:
+    def test_basic_shape(self):
+        c = Call("nn.conv2d", [var((1, 3, 32, 32)),
+                               const(np.zeros((16, 3, 3, 3), np.int8))],
+                 {"padding": (1, 1)})
+        assert c.shape == (1, 16, 32, 32)
+        assert c.dtype.name == "int32"
+
+    def test_stride(self):
+        c = Call("nn.conv2d", [var((1, 8, 32, 32)),
+                               const(np.zeros((8, 8, 3, 3), np.int8))],
+                 {"strides": (2, 2), "padding": (1, 1)})
+        assert c.shape == (1, 8, 16, 16)
+
+    def test_depthwise(self):
+        c = Call("nn.conv2d", [var((1, 8, 16, 16)),
+                               const(np.zeros((8, 1, 3, 3), np.int8))],
+                 {"groups": 8, "padding": (1, 1)})
+        assert c.shape == (1, 8, 16, 16)
+
+    def test_macs(self):
+        c = Call("nn.conv2d", [var((1, 16, 32, 32)),
+                               const(np.zeros((16, 16, 3, 3), np.int8))],
+                 {"padding": (1, 1)})
+        assert c.macs() == 16 * 16 * 9 * 32 * 32
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            Call("nn.conv2d", [var((1, 4, 8, 8)),
+                               const(np.zeros((8, 3, 3, 3), np.int8))])
+
+    def test_too_large_kernel(self):
+        with pytest.raises(ShapeError, match="non-positive"):
+            Call("nn.conv2d", [var((1, 3, 4, 4)),
+                               const(np.zeros((8, 3, 5, 5), np.int8))])
+
+    def test_bad_groups(self):
+        with pytest.raises(ShapeError):
+            Call("nn.conv2d", [var((1, 6, 8, 8)),
+                               const(np.zeros((6, 2, 3, 3), np.int8))],
+                 {"groups": 4})
+
+
+class TestConvOutputHw:
+    @pytest.mark.parametrize("ih,fh,s,p,expect", [
+        (32, 3, 1, 1, 32), (32, 3, 2, 1, 16), (49, 7, 2, 3, 25),
+        (10, 5, 2, 2, 5), (8, 1, 1, 0, 8),
+    ])
+    def test_cases(self, ih, fh, s, p, expect):
+        oh, _ = conv2d_output_hw(ih, ih, fh, fh, (s, s), (p, p))
+        assert oh == expect
+
+
+class TestDense:
+    def test_shape(self):
+        c = Call("nn.dense", [var((1, 64)), const(np.zeros((10, 64), np.int8))])
+        assert c.shape == (1, 10)
+        assert c.macs() == 640
+
+    def test_feature_mismatch(self):
+        with pytest.raises(ShapeError):
+            Call("nn.dense", [var((1, 64)), const(np.zeros((10, 32), np.int8))])
+
+
+class TestElementwise:
+    def test_bias_add(self):
+        c = Call("nn.bias_add", [var((1, 8, 4, 4), "int32"),
+                                 const(np.zeros(8, np.int32), "int32")])
+        assert c.shape == (1, 8, 4, 4)
+
+    def test_bias_add_mismatch(self):
+        with pytest.raises(ShapeError):
+            Call("nn.bias_add", [var((1, 8, 4, 4), "int32"),
+                                 const(np.zeros(4, np.int32), "int32")])
+
+    def test_bias_add_is_elementwise(self):
+        assert get_op("nn.bias_add").is_elementwise
+
+    def test_clip_requires_bounds(self):
+        with pytest.raises(IRError, match="missing required"):
+            Call("clip", [var((4,))])
+
+    def test_cast_changes_dtype(self):
+        c = Call("cast", [var((4,), "int32")], {"dtype": "int8"})
+        assert c.dtype.name == "int8"
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            Call("add", [var((1, 4)), var((1, 5), name="y")])
+
+    def test_add_out_dtype(self):
+        c = Call("add", [var((1, 4)), var((1, 4), name="y")],
+                 {"out_dtype": "int32"})
+        assert c.dtype.name == "int32"
+
+
+class TestPoolReshape:
+    def test_max_pool(self):
+        c = Call("nn.max_pool2d", [var((1, 8, 16, 16))],
+                 {"pool_size": (2, 2), "strides": (2, 2)})
+        assert c.shape == (1, 8, 8, 8)
+
+    def test_global_avg_pool(self):
+        c = Call("nn.global_avg_pool2d", [var((1, 8, 7, 7))])
+        assert c.shape == (1, 8, 1, 1)
+
+    def test_softmax_float_out(self):
+        c = Call("nn.softmax", [var((1, 10))])
+        assert c.dtype.name == "float32"
+
+    def test_reshape(self):
+        c = Call("reshape", [var((1, 8, 2, 2))], {"newshape": (1, 32)})
+        assert c.shape == (1, 32)
+
+    def test_reshape_bad_count(self):
+        with pytest.raises(ShapeError):
+            Call("reshape", [var((1, 8))], {"newshape": (1, 9)})
+
+    def test_batch_flatten(self):
+        c = Call("nn.batch_flatten", [var((1, 4, 3, 3))])
+        assert c.shape == (1, 36)
+
+    def test_pad(self):
+        c = Call("nn.pad", [var((1, 2, 4, 4))],
+                 {"pad_width": ((0, 0), (0, 0), (1, 1), (2, 2))})
+        assert c.shape == (1, 2, 6, 8)
+
+
+class TestRegistry:
+    def test_unknown_op(self):
+        with pytest.raises(IRError, match="unknown op"):
+            Call("nn.transposed_conv9d", [var((1, 1))])
+
+    def test_unknown_attr_rejected(self):
+        with pytest.raises(IRError, match="unknown attrs"):
+            Call("nn.relu", [var((4,))], {"bogus": 1})
+
+    def test_arity_checked(self):
+        with pytest.raises(IRError, match="expected 2 inputs"):
+            Call("nn.conv2d", [var((1, 3, 8, 8))])
+
+    def test_all_ops_contains_core_set(self):
+        ops = set(all_ops())
+        assert {"nn.conv2d", "nn.dense", "nn.bias_add", "right_shift",
+                "clip", "cast", "add", "nn.softmax"} <= ops

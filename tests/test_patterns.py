@@ -1,0 +1,164 @@
+"""Pattern language + matcher + partitioner tests (paper Listing 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.ir import Call, Composite, GraphBuilder
+from repro.patterns import (
+    PatternSpec, add_pattern, conv2d_pattern, default_specs, dense_pattern,
+    find_matches, is_constant, is_op, partition, wildcard,
+)
+from repro.runtime import random_inputs, run_reference
+from conftest import build_small_cnn
+
+
+def conv_graph(relu=True, out_dtype="int8"):
+    b = GraphBuilder(seed=0)
+    x = b.input("x", (1, 4, 8, 8), "int8")
+    y = b.conv2d_requant(x, 8, kernel=3, padding=(1, 1), relu=relu,
+                         out_dtype=out_dtype)
+    return b.finish(y)
+
+
+class TestLanguage:
+    def test_wildcard_matches_anything(self):
+        g = conv_graph()
+        assert wildcard().match(g.output) is not None
+
+    def test_is_op_requires_call(self):
+        with pytest.raises(PatternError):
+            is_op("nn.conv2d").match(conv_graph().output)
+
+    def test_unknown_op_rejected_eagerly(self):
+        from repro.errors import IRError
+        with pytest.raises(IRError):
+            is_op("nn.bogus")
+
+    def test_is_constant(self):
+        g = conv_graph()
+        conv = [c for c in g.calls() if c.op == "nn.conv2d"][0]
+        assert is_constant().match(conv.inputs[1]) is not None
+        assert is_constant().match(conv.inputs[0]) is None
+
+    def test_call_pattern_op_mismatch(self):
+        g = conv_graph()
+        pat = is_op("nn.dense")(wildcard(), wildcard())
+        assert pat.match(g.output) is None
+
+    def test_attr_constraint(self):
+        g = conv_graph(relu=False)
+        cast = g.output
+        assert is_op("cast")(wildcard()).has_attr(
+            {"dtype": "int8"}).match(cast) is not None
+        assert is_op("cast")(wildcard()).has_attr(
+            {"dtype": "int32"}).match(cast) is None
+
+    def test_callable_attr_constraint(self):
+        g = conv_graph(relu=False, out_dtype="int7")
+        pat = is_op("cast")(wildcard()).has_attr(
+            {"dtype": lambda d: d in ("int8", "int7")})
+        assert pat.match(g.output) is not None
+
+
+class TestConvPattern:
+    def test_matches_with_relu(self):
+        g = conv_graph(relu=True)
+        m = conv2d_pattern().match(g.output)
+        assert m is not None
+        assert len(m.interior) == 6  # conv,bias,shift,clip,cast,relu-clip
+        assert len(m.inputs) == 1    # the data input
+
+    def test_matches_without_relu(self):
+        g = conv_graph(relu=False)
+        m = conv2d_pattern().match(g.output)
+        assert m is not None
+        assert len(m.interior) == 5
+
+    def test_matches_int7_cast(self):
+        g = conv_graph(relu=True, out_dtype="int7")
+        assert conv2d_pattern().match(g.output) is not None
+
+    def test_does_not_match_dense(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 16), "int8")
+        g = b.finish(b.dense_requant(x, 4))
+        assert conv2d_pattern().match(g.output) is None
+        assert dense_pattern().match(g.output) is not None
+
+    def test_constants_stay_internal(self):
+        g = conv_graph()
+        m = conv2d_pattern().match(g.output)
+        # weight, bias, shift amount are constants, not composite inputs
+        assert len(m.inputs) == 1
+        assert len(m.constants) >= 3
+
+
+class TestPartition:
+    def test_small_cnn_partition(self, small_cnn):
+        pg = partition(small_cnn, default_specs())
+        names = [c.pattern_name for c in pg.composites()]
+        assert names.count("htvm.qconv2d") == 2
+        assert names.count("htvm.qadd") == 1
+        assert names.count("htvm.qdense") == 1
+
+    def test_partition_preserves_semantics(self, small_cnn):
+        pg = partition(small_cnn, default_specs())
+        feeds = random_inputs(small_cnn, seed=3)
+        np.testing.assert_array_equal(
+            run_reference(small_cnn, feeds), run_reference(pg, feeds))
+
+    def test_no_overlapping_matches(self, small_cnn):
+        matches = find_matches(small_cnn, default_specs())
+        seen = set()
+        for m in matches:
+            assert not (m.interior_ids & seen)
+            seen |= m.interior_ids
+
+    def test_escaping_value_prevents_extraction(self):
+        # the conv output feeds both the requant chain AND a second
+        # consumer, so the full pattern must not be extracted
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4, 8, 8), "int8")
+        conv = b.call("nn.conv2d", [x, b.random_weight((4, 4, 3, 3))],
+                      padding=(1, 1))
+        biased = b.call("nn.bias_add",
+                        [conv, b.const(np.zeros(4, np.int32), "int32")])
+        req = b.requantize(biased, 8, relu=False)
+        # second consumer of the raw conv accumulator
+        side = b.call("cast", [conv], dtype="int8")
+        both = b.call("add", [req, side])
+        g = b.finish(both)
+        pg = partition(g, default_specs())
+        assert all(c.pattern_name != "htvm.qconv2d"
+                   for c in pg.composites())
+
+    def test_priority_order(self):
+        # a spec earlier in the list wins
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int8")
+        g = b.finish(b.call("nn.relu", [x]))
+        relu_spec = PatternSpec("custom.relu", is_op("nn.relu")(wildcard()))
+        pg = partition(g, [relu_spec])
+        assert [c.pattern_name for c in pg.composites()] == ["custom.relu"]
+
+    def test_check_predicate_vetoes(self, small_cnn):
+        specs = [PatternSpec("htvm.qconv2d", conv2d_pattern(),
+                             check=lambda m: False)]
+        pg = partition(small_cnn, specs)
+        assert not pg.composites()
+
+    def test_composite_body_is_valid_graph(self, small_cnn):
+        pg = partition(small_cnn, default_specs())
+        for comp in pg.composites():
+            comp.body.validate()
+            assert comp.body.output.ttype == comp.ttype
+
+    def test_partition_of_models(self):
+        from repro.frontend.modelzoo import resnet8
+        g = resnet8()
+        pg = partition(g, default_specs())
+        names = [c.pattern_name for c in pg.composites()]
+        assert names.count("htvm.qconv2d") == 9
+        assert names.count("htvm.qadd") == 3
+        assert names.count("htvm.qdense") == 1

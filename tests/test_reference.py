@@ -1,0 +1,65 @@
+"""Reference interpreter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir import GraphBuilder
+from repro.runtime import random_inputs, run_reference
+from conftest import build_small_cnn
+
+
+class TestRunReference:
+    def test_deterministic(self):
+        g = build_small_cnn()
+        feeds = random_inputs(g, seed=1)
+        a = run_reference(g, feeds)
+        b = run_reference(g, feeds)
+        np.testing.assert_array_equal(a, b)
+
+    def test_missing_input_raises(self):
+        g = build_small_cnn()
+        with pytest.raises(SimulationError, match="missing input"):
+            run_reference(g, {})
+
+    def test_wrong_shape_raises(self):
+        g = build_small_cnn()
+        with pytest.raises(SimulationError, match="expected shape"):
+            run_reference(g, {"data": np.zeros((1, 3, 8, 8), np.int8)})
+
+    def test_output_dtype_matches_graph(self):
+        g = build_small_cnn()
+        out = run_reference(g, random_inputs(g))
+        assert out.dtype == np.float32  # softmax output
+
+    def test_int8_outputs_in_range(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4, 8, 8), "int8")
+        g = b.finish(b.conv2d_requant(x, 8, kernel=3, padding=(1, 1)))
+        out = run_reference(g, random_inputs(g, seed=4))
+        assert out.dtype == np.int8
+        assert out.min() >= 0  # relu applied
+
+    def test_random_inputs_respects_dtype(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 100), "int7")
+        g = b.finish(b.call("nn.relu", [x]))
+        feeds = random_inputs(g, seed=0)
+        assert feeds["x"].min() >= -64 and feeds["x"].max() <= 63
+
+    def test_multi_input_graph(self):
+        b = GraphBuilder()
+        x = b.input("x", (1, 8, 4, 4), "int8")
+        y = b.input("y", (1, 8, 4, 4), "int8")
+        g = b.finish(b.add_requant(x, y, shift=1))
+        feeds = random_inputs(g, seed=0)
+        out = run_reference(g, feeds)
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_composite_evaluates_like_inline(self):
+        from repro.patterns import default_specs, partition
+        g = build_small_cnn()
+        pg = partition(g, default_specs())
+        feeds = random_inputs(g, seed=9)
+        np.testing.assert_array_equal(
+            run_reference(g, feeds), run_reference(pg, feeds))

@@ -1,0 +1,72 @@
+"""JSON model format round-trip tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.patterns import default_specs, partition
+from repro.runtime import random_inputs, run_reference
+from conftest import build_small_cnn
+
+
+def roundtrip(graph):
+    payload = json.dumps(graph_to_dict(graph))
+    return graph_from_dict(json.loads(payload))
+
+
+class TestRoundTrip:
+    def test_plain_graph_semantics_preserved(self):
+        g = build_small_cnn()
+        g2 = roundtrip(g)
+        feeds = random_inputs(g, seed=11)
+        np.testing.assert_array_equal(
+            run_reference(g, feeds), run_reference(g2, feeds))
+
+    def test_partitioned_graph_roundtrip(self):
+        g = partition(build_small_cnn(), default_specs())
+        g2 = roundtrip(g)
+        assert [c.pattern_name for c in g2.composites()] == \
+               [c.pattern_name for c in g.composites()]
+        feeds = random_inputs(g, seed=5)
+        np.testing.assert_array_equal(
+            run_reference(g, feeds), run_reference(g2, feeds))
+
+    def test_weights_identical(self):
+        g = build_small_cnn()
+        g2 = roundtrip(g)
+        w1 = [c.value.data for c in g.constants()]
+        w2 = [c.value.data for c in g2.constants()]
+        assert len(w1) == len(w2)
+        for a, b in zip(w1, w2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_name_and_macs_preserved(self):
+        g = build_small_cnn()
+        g2 = roundtrip(g)
+        assert g2.name == g.name
+        assert g2.total_macs() == g.total_macs()
+
+    def test_file_roundtrip(self, tmp_path):
+        g = build_small_cnn()
+        path = str(tmp_path / "model.json")
+        save_graph(g, path)
+        g2 = load_graph(path)
+        assert g2.total_macs() == g.total_macs()
+
+    def test_bad_version_rejected(self):
+        g = build_small_cnn()
+        obj = graph_to_dict(g)
+        obj["format_version"] = 999
+        with pytest.raises(IRError, match="format version"):
+            graph_from_dict(obj)
+
+    def test_ternary_model_roundtrip(self):
+        from repro.frontend.modelzoo import resnet8
+        g = resnet8(precision="ternary")
+        g2 = roundtrip(g)
+        feeds = random_inputs(g, seed=2)
+        np.testing.assert_array_equal(
+            run_reference(g, feeds), run_reference(g2, feeds))

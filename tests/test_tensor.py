@@ -1,0 +1,81 @@
+"""Unit tests for TensorType and ConstantTensor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import ConstantTensor, TensorType, dtype, random_constant
+
+
+class TestTensorType:
+    def test_basic(self):
+        t = TensorType((1, 3, 32, 32), dtype("int8"))
+        assert t.num_elements == 3 * 32 * 32
+        assert t.storage_bytes == 3 * 32 * 32
+        assert t.rank == 4
+
+    def test_dtype_by_name(self):
+        t = TensorType((4,), "int32")
+        assert t.dtype.name == "int32"
+        assert t.storage_bytes == 16
+
+    def test_ternary_packed_bytes(self):
+        t = TensorType((16, 16), "ternary")
+        assert t.storage_bytes == 16 * 16 * 2 // 8
+
+    def test_invalid_shape(self):
+        with pytest.raises(IRError):
+            TensorType((0, 3), "int8")
+        with pytest.raises(IRError):
+            TensorType((-1,), "int8")
+
+    def test_with_dtype_and_shape(self):
+        t = TensorType((2, 3), "int8")
+        assert t.with_dtype("int32").dtype.name == "int32"
+        assert t.with_shape((6,)).shape == (6,)
+
+    def test_str(self):
+        assert str(TensorType((1, 2), "int8")) == "1x2:int8"
+
+    def test_equality(self):
+        assert TensorType((1, 2), "int8") == TensorType((1, 2), "int8")
+        assert TensorType((1, 2), "int8") != TensorType((1, 2), "int7")
+
+
+class TestConstantTensor:
+    def test_range_check_int8(self):
+        ConstantTensor(np.array([127, -128], dtype=np.int8))
+        with pytest.raises(IRError, match="out of range"):
+            ConstantTensor(np.array([200]), "int7")
+
+    def test_ternary_range_check(self):
+        ConstantTensor(np.array([-1, 0, 1]), "ternary")
+        with pytest.raises(IRError):
+            ConstantTensor(np.array([2]), "ternary")
+
+    def test_scalar_promoted(self):
+        c = ConstantTensor(np.int32(5), "int32")
+        assert c.shape == (1,)
+
+    def test_storage_bytes(self):
+        c = ConstantTensor(np.zeros((8, 8), dtype=np.int8), "ternary")
+        assert c.storage_bytes == 16
+
+
+class TestRandomConstant:
+    def test_seeded_determinism(self):
+        a = random_constant(np.random.default_rng(0), (4, 4), "int8")
+        b = random_constant(np.random.default_rng(0), (4, 4), "int8")
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_ternary_values(self):
+        c = random_constant(np.random.default_rng(1), (100,), "ternary")
+        assert set(np.unique(c.data)) <= {-1, 0, 1}
+
+    def test_int7_range(self):
+        c = random_constant(np.random.default_rng(2), (1000,), "int7")
+        assert c.data.min() >= -64 and c.data.max() <= 63
+
+    def test_float32(self):
+        c = random_constant(np.random.default_rng(3), (5,), "float32")
+        assert c.data.dtype == np.float32

@@ -1,0 +1,154 @@
+"""Transform pass tests: folding, DCE, canonicalize, fusion, legalize."""
+
+import numpy as np
+import pytest
+
+from repro.ir import Call, Composite, Constant, GraphBuilder
+from repro.runtime import random_inputs, run_reference
+from repro.transforms import (
+    CPU_FUSED, Pass, PassManager, canonicalize, dense_to_conv2d,
+    eliminate_dead_code, fold_constants, fuse_cpu_ops,
+)
+from conftest import build_small_cnn
+
+
+class TestConstantFolding:
+    def test_folds_constant_expression(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int8")
+        c1 = b.const(np.array([1, 2, 3, 4], np.int8).reshape(1, 4))
+        c2 = b.const(np.array([10, 20, 30, 40], np.int8).reshape(1, 4))
+        folded = b.call("add", [c1, c2], out_dtype="int32")
+        casted = b.call("cast", [folded], dtype="int8")
+        out = b.call("add", [x, casted])
+        g = fold_constants(b.finish(out))
+        # the constant add/cast chain collapses to one constant
+        assert len(g.calls()) == 1
+        consts = g.constants()
+        assert any(np.array_equal(c.value.data, [[11, 22, 33, 44]])
+                   for c in consts)
+
+    def test_fold_preserves_semantics(self, small_cnn):
+        g2 = fold_constants(small_cnn)
+        feeds = random_inputs(small_cnn, seed=1)
+        np.testing.assert_array_equal(
+            run_reference(small_cnn, feeds), run_reference(g2, feeds))
+
+    def test_nothing_to_fold_is_noop(self, small_cnn):
+        g2 = fold_constants(small_cnn)
+        assert len(g2.calls()) == len(small_cnn.calls())
+
+
+class TestDeadCode:
+    def test_unreachable_dropped(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int8")
+        live = b.call("nn.relu", [x])
+        b.call("cast", [x], dtype="int32")  # dead
+        g = eliminate_dead_code(b.finish(live))
+        assert [c.op for c in g.calls()] == ["nn.relu"]
+
+
+class TestCanonicalize:
+    def test_merge_nested_clips(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int32")
+        c1 = b.call("clip", [x], a_min=-100, a_max=100)
+        c2 = b.call("clip", [c1], a_min=0, a_max=127)
+        g = canonicalize(b.finish(c2))
+        clips = [c for c in g.calls() if c.op == "clip"]
+        assert len(clips) == 1
+        assert clips[0].attrs == {"a_min": 0, "a_max": 100}
+
+    def test_identity_cast_removed(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int8")
+        g = canonicalize(b.finish(b.call("cast", [x], dtype="int8")))
+        assert not any(c.op == "cast" for c in g.calls())
+
+    def test_identity_reshape_removed(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int8")
+        y = b.call("reshape", [x], newshape=(1, 4))
+        z = b.call("nn.relu", [y])
+        g = canonicalize(b.finish(z))
+        assert [c.op for c in g.calls()] == ["nn.relu"]
+
+    def test_requant_chain_untouched(self, small_cnn):
+        g2 = canonicalize(small_cnn)
+        feeds = random_inputs(small_cnn, seed=2)
+        np.testing.assert_array_equal(
+            run_reference(small_cnn, feeds), run_reference(g2, feeds))
+        # conv + relu clips are separated by a cast: both must remain
+        assert sum(1 for c in g2.calls() if c.op == "clip") == \
+               sum(1 for c in small_cnn.calls() if c.op == "clip")
+
+
+class TestFusion:
+    def test_everything_becomes_composites(self, small_cnn):
+        fused = fuse_cpu_ops(small_cnn)
+        assert not fused.calls()  # only composites remain at top level
+        assert all(c.pattern_name == CPU_FUSED for c in fused.composites())
+
+    def test_conv_chain_fused_into_one_kernel(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4, 8, 8), "int8")
+        g = b.finish(b.conv2d_requant(x, 8, kernel=3, padding=(1, 1)))
+        fused = fuse_cpu_ops(g)
+        comps = fused.composites()
+        assert len(comps) == 1
+        assert len(comps[0].body.calls()) == 6
+
+    def test_fusion_preserves_semantics(self, small_cnn):
+        fused = fuse_cpu_ops(small_cnn)
+        feeds = random_inputs(small_cnn, seed=7)
+        np.testing.assert_array_equal(
+            run_reference(small_cnn, feeds), run_reference(fused, feeds))
+
+    def test_multi_consumer_breaks_chain(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int8")
+        r = b.call("nn.relu", [x])
+        a = b.call("cast", [r], dtype="int32")
+        bb = b.call("cast", [r], dtype="int16")
+        g = b.finish(b.call("add", [a, b.call("cast", [bb], dtype="int32")]))
+        fused = fuse_cpu_ops(g)
+        # relu has two consumers: it must be its own group
+        groups = [c.body.calls() for c in fused.composites()]
+        assert any(len(g_) == 1 and g_[0].op == "nn.relu" for g_ in groups)
+
+    def test_binary_with_activation_operand_not_fused(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 4), "int8")
+        y = b.input("y", (1, 4), "int8")
+        rx = b.call("nn.relu", [x])
+        g = b.finish(b.call("add", [rx, y]))
+        fused = fuse_cpu_ops(g)
+        # add takes a second activation input -> separate kernel
+        assert len(fused.composites()) == 2
+
+
+class TestLegalize:
+    def test_dense_to_conv_semantics(self):
+        b = GraphBuilder(seed=0)
+        x = b.input("x", (1, 16), "int8")
+        g = b.finish(b.dense_requant(x, 8))
+        g2 = dense_to_conv2d(g)
+        assert not any(c.op == "nn.dense" for c in g2.calls())
+        assert any(c.op == "nn.conv2d" for c in g2.calls())
+        feeds = random_inputs(g, seed=0)
+        np.testing.assert_array_equal(
+            run_reference(g, feeds), run_reference(g2, feeds))
+
+
+class TestPassManager:
+    def test_trace_recorded(self, small_cnn):
+        pm = PassManager([Pass("fold", fold_constants),
+                          Pass("dce", eliminate_dead_code)])
+        pm.run(small_cnn)
+        assert [t[0] for t in pm.trace] == ["fold", "dce"]
+
+    def test_bad_pass_rejected(self, small_cnn):
+        pm = PassManager([Pass("broken", lambda g: None)])
+        with pytest.raises(TypeError):
+            pm.run(small_cnn)

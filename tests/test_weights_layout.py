@@ -1,0 +1,137 @@
+"""Weight layout / packing tests, incl. round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dory import (
+    layout_analog_weights, layout_digital_weights, make_conv_spec,
+    make_dense_spec, pack_ternary, restore_analog_weights,
+    restore_digital_weights, unpack_ternary, weight_image_for,
+)
+from repro.errors import CodegenError
+from repro.soc import DEFAULT_PARAMS
+
+
+class TestTernaryPacking:
+    def test_basic_roundtrip(self):
+        values = np.array([-1, 0, 1, 1, 0, -1, -1], dtype=np.int8)
+        packed = pack_ternary(values)
+        assert packed.nbytes == 2  # 7 values -> 2 bytes
+        np.testing.assert_array_equal(unpack_ternary(packed, 7), values)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(CodegenError):
+            pack_ternary(np.array([2], dtype=np.int8))
+
+    def test_density(self):
+        packed = pack_ternary(np.zeros(1000, dtype=np.int8))
+        assert packed.nbytes == 250
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(1, 500))
+    def test_property_roundtrip(self, seed, count):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-1, 2, count).astype(np.int8)
+        np.testing.assert_array_equal(
+            unpack_ternary(pack_ternary(values), count), values)
+
+    def test_insufficient_data_raises(self):
+        with pytest.raises(CodegenError):
+            unpack_ternary(np.zeros(1, np.uint8), 10)
+
+
+class TestDigitalLayout:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40),
+           st.sampled_from([1, 3, 5]), st.integers(0, 2 ** 31 - 1))
+    def test_property_roundtrip(self, k, c, f, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-128, 128, (k, c, f, f)).astype(np.int8)
+        image = layout_digital_weights(w, DEFAULT_PARAMS)
+        np.testing.assert_array_equal(restore_digital_weights(image), w)
+
+    def test_padding_to_pe_blocks(self):
+        w = np.ones((10, 10, 3, 3), dtype=np.int8)
+        image = layout_digital_weights(w, DEFAULT_PARAMS)
+        # padded to 16x16 blocks
+        assert image.nbytes == 16 * 16 * 9
+
+    def test_aligned_no_padding(self):
+        w = np.ones((16, 32, 1, 1), dtype=np.int8)
+        image = layout_digital_weights(w, DEFAULT_PARAMS)
+        assert image.nbytes == 16 * 32
+
+    def test_dense_as_1x1(self):
+        w = np.arange(64, dtype=np.int8).reshape(8, 8)
+        image = layout_digital_weights(w, DEFAULT_PARAMS)
+        restored = restore_digital_weights(image)
+        np.testing.assert_array_equal(restored[:, :, 0, 0], w)
+
+    def test_blocked_burst_is_contiguous(self):
+        # block (0, 0) of an aligned layout is the first 16x16 bytes
+        w = np.zeros((32, 32, 1, 1), dtype=np.int8)
+        w[:16, :16, 0, 0] = 7
+        image = layout_digital_weights(w, DEFAULT_PARAMS)
+        first_block = image.data[:16 * 16].view(np.int8)
+        assert (first_block == 7).all()
+
+
+class TestAnalogLayout:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 30), st.integers(1, 40),
+           st.sampled_from([1, 3]), st.integers(0, 2 ** 31 - 1))
+    def test_property_roundtrip(self, k, c, f, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.integers(-1, 2, (k, c, f, f)).astype(np.int8)
+        spec = make_conv_spec("t", c, k, 8, 8,
+                              fy=f, fx=f, padding=(1, 1) if f == 3 else (0, 0),
+                              weight_dtype="ternary")
+        image = layout_analog_weights(w, spec, DEFAULT_PARAMS)
+        np.testing.assert_array_equal(restore_analog_weights(image), w)
+
+    def test_conv_pads_to_full_macro(self):
+        w = np.zeros((16, 16, 3, 3), dtype=np.int8)
+        spec = make_conv_spec("t", 16, 16, 8, 8, padding=(1, 1),
+                              weight_dtype="ternary")
+        image = layout_analog_weights(w, spec, DEFAULT_PARAMS)
+        assert image.padded_rows == DEFAULT_PARAMS.ana_row_pad_conv
+        assert image.nbytes == 1152 * 16 * 2 // 8
+
+    def test_pw_pads_to_quadrant(self):
+        w = np.zeros((16, 16, 1, 1), dtype=np.int8)
+        spec = make_conv_spec("t", 16, 16, 8, 8, fy=1, fx=1,
+                              weight_dtype="ternary")
+        image = layout_analog_weights(w, spec, DEFAULT_PARAMS)
+        assert image.padded_rows == DEFAULT_PARAMS.ana_row_pad_pw
+
+    def test_matches_size_model(self):
+        """The byte stream must equal the binary-size model's account."""
+        from repro.soc import AnalogAccelerator
+        accel = AnalogAccelerator(DEFAULT_PARAMS)
+        for c, k, f in ((16, 16, 3), (64, 32, 1), (7, 5, 3)):
+            pad = (1, 1) if f == 3 else (0, 0)
+            spec = make_conv_spec("t", c, k, 8, 8, fy=f, fx=f, padding=pad,
+                                  weight_dtype="ternary")
+            w = np.zeros((k, c, f, f), dtype=np.int8)
+            image = layout_analog_weights(w, spec, DEFAULT_PARAMS)
+            assert image.nbytes == accel.weight_storage_bytes(spec)
+
+
+class TestWeightImageFor:
+    def test_dispatch_by_target(self):
+        rng = np.random.default_rng(0)
+        spec = make_conv_spec("t", 64, 64, 8, 8, padding=(1, 1),
+                              weight_dtype="ternary")
+        spec.weight = rng.integers(-1, 2, (64, 64, 3, 3)).astype(np.int8)
+        ana = weight_image_for(spec, "soc.analog", DEFAULT_PARAMS)
+        dig_spec = make_conv_spec("t", 64, 64, 8, 8, padding=(1, 1))
+        dig_spec.weight = rng.integers(-128, 128,
+                                       (64, 64, 3, 3)).astype(np.int8)
+        dig = weight_image_for(dig_spec, "soc.digital", DEFAULT_PARAMS)
+        assert ana.nbytes < dig.nbytes  # 2-bit vs 8-bit (plus padding rules)
+
+    def test_missing_weights_raise(self):
+        spec = make_dense_spec("fc", 8, 8)
+        with pytest.raises(CodegenError):
+            weight_image_for(spec, "soc.digital", DEFAULT_PARAMS)
