@@ -1,0 +1,75 @@
+"""Micro-benchmark: cold vs. warm compilation with the tiling cache.
+
+Measures wall-clock of ``compile_model`` for ResNet-8 on the digital
+configuration with a cold cache (every layer runs the DORY search) and
+a warm cache (every layer hits the memo; zero searches — asserted via
+the cache counters), and records the numbers to ``BENCH_compile.json``
+at the repo root.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.core import HTVM, TilingCache, compile_model
+from repro.frontend.modelzoo import resnet8
+from repro.soc import DianaSoC
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_compile.json"
+REPS = 5
+
+
+def _best_of(fn, reps=REPS):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_compile_cache_cold_vs_warm(report, benchmark):
+    graph = resnet8(precision="int8")
+    soc = DianaSoC(enable_analog=False)
+    # a tight Eq. 2 budget forces a real search on every layer — the
+    # scenario (Fig. 4-style sweeps, constrained platforms) the cache
+    # is built for
+    config = HTVM.with_overrides(l1_budget=16 * 1024, check_l2=False)
+
+    def cold():
+        compile_model(graph, soc, config, cache=TilingCache())
+
+    cache = TilingCache()
+    compile_model(graph, soc, config, cache=cache)  # populate
+    cache.reset_counters()
+
+    def warm():
+        compile_model(graph, soc, config, cache=cache)
+
+    cold_s = _best_of(cold)
+    warm_s = _best_of(warm)
+
+    stats = cache.stats()
+    # the warm path performed zero DoryTiler.solve searches
+    assert stats["misses"] == 0
+    assert stats["hits"] > 0
+
+    record = {
+        "model": "resnet8",
+        "config": "digital",
+        "l1_budget": 16 * 1024,
+        "reps": REPS,
+        "cold_compile_s": cold_s,
+        "warm_compile_s": warm_s,
+        "speedup": cold_s / max(warm_s, 1e-12),
+        "cache_entries": stats["entries"],
+        "warm_hits_per_compile": stats["hits"] // REPS,
+    }
+    OUT.write_text(json.dumps(record, indent=2) + "\n")
+    benchmark(warm)
+    report(f"compile cache micro-bench (best of {REPS}):\n"
+           f"  cold : {cold_s * 1e3:8.3f} ms\n"
+           f"  warm : {warm_s * 1e3:8.3f} ms  "
+           f"({record['speedup']:.2f}x, {stats['entries']} entries)\n"
+           f"  wrote {OUT.name}")

@@ -12,6 +12,8 @@ Every deployment is verified bit-exact against the reference
 interpreter before its numbers are reported.
 """
 
+import os
+
 import pytest
 
 from repro.eval import format_table1, run_table1, summarize_claims
@@ -20,7 +22,9 @@ from repro.eval.harness import deploy
 
 @pytest.fixture(scope="module")
 def results():
-    return run_table1(verify=True)
+    # the 16 cells are independent: fan out (results are identical to
+    # a serial run, see tests/test_cache.py::TestParallelEvaluation)
+    return run_table1(verify=True, jobs=min(4, os.cpu_count() or 1))
 
 
 def test_table1_regenerate(report, results, benchmark):

@@ -1,6 +1,20 @@
-"""Benchmark fixtures: un-captured report printing."""
+"""Benchmark fixtures: un-captured report printing.
+
+Shared helpers live in ``tests/helpers.py`` (a uniquely named module);
+keeping this conftest free of them avoids the
+``sys.modules["conftest"]`` shadowing hazard between tests/ and
+benchmarks/.
+"""
+
+import pathlib
+import sys
 
 import pytest
+
+# make tests/helpers.py importable when only benchmarks/ is collected
+_TESTS = str(pathlib.Path(__file__).resolve().parent.parent / "tests")
+if _TESTS not in sys.path:
+    sys.path.insert(0, _TESTS)
 
 
 @pytest.fixture

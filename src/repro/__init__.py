@@ -24,7 +24,7 @@ from . import baselines, codegen, core, dispatch, dory, eval, extensions, fronte
 from . import ir, numerics, patterns, runtime, soc, transforms
 from .core import (
     CompilerConfig, CompiledModel, HTVM, HTVM_NAIVE_TILING, TVM_CPU,
-    compile_model,
+    TilingCache, compile_model, get_default_cache, set_default_cache,
 )
 from .errors import (
     CodegenError, DispatchError, IRError, MemoryPlanError, OutOfMemoryError,
@@ -41,7 +41,8 @@ __all__ = [
     "extensions", "frontend",
     "ir", "numerics", "patterns", "runtime", "soc", "transforms",
     "CompilerConfig", "CompiledModel", "HTVM", "HTVM_NAIVE_TILING",
-    "TVM_CPU", "compile_model",
+    "TVM_CPU", "TilingCache", "compile_model", "get_default_cache",
+    "set_default_cache",
     "CodegenError", "DispatchError", "IRError", "MemoryPlanError",
     "OutOfMemoryError", "PatternError", "ReproError", "ShapeError",
     "SimulationError", "TilingError", "UnsupportedError",

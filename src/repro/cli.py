@@ -5,14 +5,19 @@ Usage (also available as ``python -m repro.cli``)::
     python -m repro.cli models
     python -m repro.cli compile resnet --config digital --out-dir build/
     python -m repro.cli run dscnn --config mixed --timeline
-    python -m repro.cli table1
+    python -m repro.cli table1 --jobs 4
     python -m repro.cli table2
-    python -m repro.cli fig4
+    python -m repro.cli fig4 --jobs 4
     python -m repro.cli fig5
 
 Model arguments accept either a zoo name (``resnet``, ``dscnn``,
 ``mobilenet``, ``toyadmos``) or a path to a JSON graph produced by
 :func:`repro.ir.save_graph`.
+
+Tiling solutions are memoized process-wide; ``--cache-file PATH``
+persists them across invocations (a warm run skips every DORY search)
+and ``--no-cache`` disables memoization. ``table1``/``fig4`` accept
+``--jobs N`` to evaluate independent cells/points concurrently.
 """
 
 from __future__ import annotations
@@ -22,7 +27,10 @@ import os
 import sys
 
 from . import eval as evaluation
-from .core import HTVM, TVM_CPU, compile_model
+from .core import (
+    HTVM, TVM_CPU, TilingCache, compile_model, get_default_cache,
+    set_default_cache,
+)
 from .errors import OutOfMemoryError, ReproError
 from .eval.harness import CONFIGS
 from .frontend.modelzoo import MLPERF_TINY
@@ -45,6 +53,22 @@ def _load_model(name: str, precision: str):
 def _setup(config: str):
     precision, soc_kwargs, cfg = CONFIGS[config]
     return precision, DianaSoC(**soc_kwargs), cfg
+
+
+def _setup_cache(args):
+    """Apply --no-cache / --cache-file to the process-wide cache."""
+    if getattr(args, "no_cache", False):
+        set_default_cache(None)
+    elif getattr(args, "cache_file", None):
+        set_default_cache(TilingCache(path=args.cache_file))
+
+
+def _print_cache_stats():
+    cache = get_default_cache()
+    if cache is not None:
+        s = cache.stats()
+        print(f"tiling cache: {s['hits']} hits / {s['misses']} misses "
+              f"({s['entries']} entries)")
 
 
 def cmd_models(args) -> int:
@@ -115,11 +139,12 @@ def cmd_run(args) -> int:
 
 
 def cmd_table1(args) -> int:
-    results = evaluation.run_table1()
+    results = evaluation.run_table1(jobs=args.jobs)
     print(evaluation.format_table1(results))
     claims = evaluation.summarize_claims(results)
     for key, value in claims.items():
         print(f"  {key}: {value:.2f}")
+    _print_cache_stats()
     return 0
 
 
@@ -130,10 +155,11 @@ def cmd_table2(args) -> int:
 
 
 def cmd_fig4(args) -> int:
-    points = evaluation.fig4.sweep()
+    points = evaluation.fig4.sweep(jobs=args.jobs)
     print(evaluation.fig4.format_fig4(points))
     print(f"max heuristic speed-up: "
           f"{evaluation.fig4.max_heuristic_speedup(points):.2f}x")
+    _print_cache_stats()
     return 0
 
 
@@ -149,6 +175,13 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_cache_args(p):
+        p.add_argument("--cache-file",
+                       help="persist tiling solutions to this JSON file "
+                            "(warm runs skip the DORY search)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable tiling-solution memoization")
+
     sub.add_parser("models", help="list the model zoo").set_defaults(
         fn=cmd_models)
 
@@ -157,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--config", choices=list(CONFIGS), default="mixed")
     p.add_argument("--out-dir", help="write generated C sources here")
     p.add_argument("--dot", help="write a Graphviz rendering here")
+    add_cache_args(p)
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("run", help="compile + simulate one inference")
@@ -167,22 +201,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the Fig. 2-style execution timeline")
     p.add_argument("--layers", action="store_true",
                    help="print the per-layer cycle/energy report")
+    add_cache_args(p)
     p.set_defaults(fn=cmd_run)
 
     for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
                      ("fig4", cmd_fig4), ("fig5", cmd_fig5)):
-        sub.add_parser(name, help=f"regenerate the paper's {name}"
-                       ).set_defaults(fn=fn)
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        if name in ("table1", "fig4"):
+            p.add_argument("--jobs", type=int, default=1,
+                           help="evaluate independent cells/points with "
+                                "this many concurrent workers")
+            add_cache_args(p)
+        p.set_defaults(fn=fn)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_cache(args)
     try:
         return args.fn(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        cache = get_default_cache()
+        if cache is not None and cache.path:
+            cache.flush()
 
 
 if __name__ == "__main__":

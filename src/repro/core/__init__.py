@@ -1,6 +1,7 @@
-"""Compiler core: driver, configurations, compiled-program types."""
+"""Compiler core: driver, configurations, caching, compiled-program types."""
 
 from .artifact import compute_size
+from .cache import TilingCache, get_default_cache, set_default_cache
 from .compiler import compile_model
 from .config import CompilerConfig, HTVM, HTVM_NAIVE_TILING, TVM_CPU
 from .program import (
@@ -9,6 +10,7 @@ from .program import (
 
 __all__ = [
     "compute_size", "compile_model",
+    "TilingCache", "get_default_cache", "set_default_cache",
     "CompilerConfig", "HTVM", "HTVM_NAIVE_TILING", "TVM_CPU",
     "AccelStep", "BufferSpec", "CompiledModel", "CpuKernelStep",
     "SizeBreakdown", "Step",

@@ -1,0 +1,289 @@
+"""Tiling memoization: skip the DORY search when the answer is known.
+
+The tiling solver (:class:`~repro.dory.tiler.DoryTiler`) is exact but
+exhaustive: for every offloaded layer it walks a pruned ``(c_t, k_t)``
+candidate grid and binary-searches the feasible output-height frontier.
+The search is *deterministic*: its result depends only on
+
+* the layer geometry (a :class:`~repro.dory.layer_spec.LayerSpec`
+  minus its constant payloads — weights never influence tile shapes),
+* the accelerator target,
+* the heuristic set (each ``beta_i * H_i`` term, identified by name
+  and weight),
+* the Eq. 1 ``alpha`` weight and the Eq. 2 ``l1_budget``,
+* the digital weight-memory capacity (the only platform constant the
+  feasibility check reads besides the L1 budget).
+
+:class:`TilingCache` memoizes ``solve`` on exactly that key, so a warm
+compile performs zero searches: identical layers within one model, the
+same model re-compiled, and every (model, config) cell of a sweep that
+repeats a layer geometry all hit. Infeasible outcomes
+(:class:`~repro.errors.TilingError`) are cached too — the Fig. 4
+budget sweep spends much of its time re-discovering infeasibility.
+
+An optional JSON-backed persistent layer (``path=``) lets repeated CLI
+or benchmark invocations skip the search across processes. Only the
+chosen tile configuration and its memory accounting are stored; on a
+hit the :class:`~repro.dory.tiling_types.TilingSolution` is rebuilt
+around the *caller's* spec, so constant payloads are never serialized
+and never stale.
+
+The cache is thread-safe (the ``jobs=N`` evaluation fan-out shares
+one), and a process-wide default instance is threaded through
+:func:`~repro.core.compiler.compile_model` via
+``CompilerConfig.tiling_cache``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import sys
+import threading
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..dory.heuristics import Heuristic
+from ..dory.layer_spec import LayerSpec
+from ..dory.tiler import DoryTiler
+from ..dory.tiling_types import TileConfig, TilingSolution
+from ..errors import TilingError
+
+#: LayerSpec fields that influence the tiling search. ``name``,
+#: ``weight`` and ``bias`` are deliberately excluded: two layers with
+#: identical geometry share a tiling regardless of their payloads, which
+#: is what makes intra-model hits (e.g. ResNet's repeated blocks) work.
+_SPEC_KEY_FIELDS = (
+    "kind", "in_channels", "out_channels", "iy", "ix", "oy", "ox",
+    "fy", "fx", "strides", "padding", "groups",
+    "weight_dtype", "in_dtype", "out_dtype",
+)
+
+
+def spec_key(spec: LayerSpec) -> Tuple:
+    """Canonical geometry fingerprint of one layer."""
+    return tuple(
+        tuple(v) if isinstance(v, (list, tuple)) else v
+        for v in (getattr(spec, f) for f in _SPEC_KEY_FIELDS)
+    )
+
+
+def heuristics_key(heuristics: Sequence[Heuristic]) -> Tuple:
+    """Identity of a heuristic set: ordered ``(name, weight)`` pairs.
+
+    Custom heuristics reusing a built-in name *and* weight with a
+    different scoring function would collide; give them a fresh name.
+    """
+    return tuple((h.name, float(h.weight)) for h in heuristics)
+
+
+def tiling_key(tiler: DoryTiler, spec: LayerSpec) -> Tuple:
+    """The full memoization key for ``tiler.solve(spec)``."""
+    return (
+        spec_key(spec),
+        tiler.target,
+        heuristics_key(tiler.heuristics),
+        float(tiler.alpha),
+        int(tiler.l1_budget),
+        int(tiler.params.dig_weight_bytes),
+    )
+
+
+def _freeze(obj):
+    """Recursively turn JSON lists back into hashable tuples."""
+    if isinstance(obj, list):
+        return tuple(_freeze(v) for v in obj)
+    return obj
+
+
+class TilingCache:
+    """Memoizes :meth:`DoryTiler.solve` results, with hit/miss counters.
+
+    Args:
+        path: optional JSON file backing the cache across processes.
+            Loaded (if present) at construction; new entries are
+            persisted in batches (plus a flush at interpreter exit),
+            since each save rewrites the whole snapshot — call
+            :meth:`flush` for a deterministic write point.
+        autosave: persist automatically as entries accumulate.
+        autosave_batch: write at most one snapshot per this many new
+            entries (1 = write on every miss).
+    """
+
+    def __init__(self, path: Optional[str] = None, autosave: bool = True,
+                 autosave_batch: int = 32):
+        self._lock = threading.Lock()
+        self._save_lock = threading.Lock()  # keeps snapshots file-ordered
+        self._entries: Dict[Tuple, dict] = {}
+        self._dirty = 0
+        self.hits = 0
+        self.misses = 0
+        self.path = path
+        self.autosave = autosave
+        self.autosave_batch = max(1, int(autosave_batch))
+        if path and os.path.exists(path):
+            self.load(path)
+        if path:
+            atexit.register(self.flush)
+
+    # -- core --------------------------------------------------------------
+
+    def solve(self, tiler: DoryTiler, spec: LayerSpec) -> TilingSolution:
+        """``tiler.solve(spec)``, memoized.
+
+        On a hit the stored tile configuration is re-wrapped around the
+        caller's ``spec`` (payloads included); cached infeasibility
+        re-raises :class:`TilingError`.
+        """
+        key = tiling_key(tiler, spec)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+        if entry is not None:
+            return self._rebuild(entry, spec, tiler.target)
+
+        try:
+            sol = tiler.solve(spec)
+        except TilingError:
+            with self._lock:
+                self.misses += 1
+                self._entries[key] = {"infeasible": True}
+            self._maybe_save()
+            raise
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = {
+                "cfg": [sol.cfg.c_t, sol.cfg.k_t, sol.cfg.oy_t, sol.cfg.ox_t],
+                "l1": [sol.l1_in_bytes, sol.l1_out_bytes,
+                       sol.l1_weight_bytes],
+                "objective": sol.objective,
+                "needs_tiling": sol.needs_tiling,
+            }
+        self._maybe_save()
+        return sol
+
+    @staticmethod
+    def _rebuild(entry: dict, spec: LayerSpec, target: str) -> TilingSolution:
+        if entry.get("infeasible"):
+            raise TilingError(
+                f"{spec.name}: no feasible tiling for target {target} "
+                f"(cached infeasibility)")
+        c_t, k_t, oy_t, ox_t = entry["cfg"]
+        in_b, out_b, w_b = entry["l1"]
+        return TilingSolution(
+            spec=spec, cfg=TileConfig(c_t=c_t, k_t=k_t, oy_t=oy_t, ox_t=ox_t),
+            target=target, l1_in_bytes=in_b, l1_out_bytes=out_b,
+            l1_weight_bytes=w_b, objective=entry["objective"],
+            needs_tiling=entry["needs_tiling"],
+        )
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """``{"hits": ..., "misses": ..., "entries": ...}``."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._entries)}
+
+    def reset_counters(self):
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    def clear(self):
+        """Drop all entries (counters included)."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    # -- persistence -------------------------------------------------------
+
+    def _maybe_save(self):
+        if not (self.path and self.autosave):
+            return
+        with self._lock:
+            self._dirty += 1
+            due = self._dirty >= self.autosave_batch
+        if due:
+            try:
+                self.save()
+            except OSError as exc:
+                # the cache is a performance layer: losing persistence
+                # must never fail a compile. Warn once and stop trying.
+                self.autosave = False
+                print(f"warning: tiling cache not persisted to "
+                      f"{self.path}: {exc}", file=sys.stderr)
+
+    def flush(self):
+        """Persist any unsaved entries (no-op without a path/changes)."""
+        with self._lock:
+            dirty = self._dirty
+        if self.path and dirty:
+            try:
+                self.save()
+            except OSError as exc:
+                print(f"warning: tiling cache not persisted to "
+                      f"{self.path}: {exc}", file=sys.stderr)
+
+    def save(self, path: Optional[str] = None):
+        """Write all entries as a JSON list of ``{key, entry}`` records."""
+        path = path or self.path
+        if not path:
+            raise ValueError("TilingCache has no backing path")
+        # serialize whole snapshots: without this, a writer holding an
+        # older (smaller) snapshot could replace the file after a newer
+        # one and drop entries
+        with self._save_lock:
+            with self._lock:
+                records = [{"key": list(k), "entry": e}
+                           for k, e in self._entries.items()]
+                in_snapshot = self._dirty
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+            tmp = f"{path}.{os.getpid()}.tmp"
+            with open(tmp, "w") as f:
+                json.dump({"version": 1, "entries": records}, f)
+            os.replace(tmp, path)
+            with self._lock:
+                # entries added during the write stay dirty
+                self._dirty -= min(in_snapshot, self._dirty)
+
+    def load(self, path: str):
+        """Merge entries from a JSON file written by :meth:`save`.
+
+        A corrupt or unreadable file is treated as a cold cache (with a
+        warning): persisted tilings are disposable by design.
+        """
+        try:
+            with open(path) as f:
+                payload = json.load(f)
+            loaded = {_freeze(rec["key"]): rec["entry"]
+                      for rec in payload.get("entries", [])}
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"warning: ignoring unreadable tiling cache {path}: "
+                  f"{exc}", file=sys.stderr)
+            return
+        with self._lock:
+            self._entries.update(loaded)
+
+
+# -- process-wide default ----------------------------------------------------
+
+_default_cache: Optional[TilingCache] = TilingCache()
+
+
+def get_default_cache() -> Optional[TilingCache]:
+    """The cache ``compile_model`` uses by default (None = disabled)."""
+    return _default_cache
+
+
+def set_default_cache(cache: Optional[TilingCache]) -> Optional[TilingCache]:
+    """Swap the process-wide cache (pass None to disable); returns it."""
+    global _default_cache
+    _default_cache = cache
+    return cache

@@ -35,6 +35,7 @@ from ..transforms import (
 )
 from ..patterns import default_specs, partition
 from .artifact import compute_size
+from .cache import TilingCache, get_default_cache
 from .config import CompilerConfig, HTVM
 from .program import AccelStep, BufferSpec, CompiledModel, CpuKernelStep
 
@@ -61,13 +62,21 @@ def _frontend(graph: Graph, config: CompilerConfig) -> Graph:
 
 
 def compile_model(graph: Graph, soc: DianaSoC,
-                  config: CompilerConfig = HTVM) -> CompiledModel:
+                  config: CompilerConfig = HTVM,
+                  cache: Optional[TilingCache] = None) -> CompiledModel:
     """Compile ``graph`` for ``soc`` under ``config``.
 
     Returns a :class:`~repro.core.program.CompiledModel`; raises
     :class:`~repro.errors.OutOfMemoryError` if the deployment cannot
     fit L2 (with ``config.check_l2``).
+
+    ``cache`` overrides the tiling-solution memo used for step 5; by
+    default the process-wide cache is used when ``config.tiling_cache``
+    is set (pass an explicit :class:`TilingCache` for isolation, e.g.
+    in tests or sharded builds).
     """
+    if cache is None and config.tiling_cache:
+        cache = get_default_cache()
     graph = _frontend(graph, config)
 
     decisions = []
@@ -118,7 +127,8 @@ def compile_model(graph: Graph, soc: DianaSoC,
                 _heuristic_set(config.heuristics, comp.target),
                 alpha=config.alpha, l1_budget=config.l1_budget,
             )
-            sol = tiler.solve(spec)
+            sol = (cache.solve(tiler, spec) if cache is not None
+                   else tiler.solve(spec))
             fn_name = f"dory_layer_{i}"
             kernel_sources[f"{fn_name}.c"] = emit_accel_layer(
                 fn_name, sol, soc.params)

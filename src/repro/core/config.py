@@ -23,6 +23,10 @@ class CompilerConfig:
         l1_budget: Eq. 2 budget override in bytes (None = platform L1).
         runtime: ``"htvm"`` or ``"tvm"`` runtime footprint.
         check_l2: raise OutOfMemoryError when image + arena exceed L2.
+        tiling_cache: memoize DORY tiling solutions through the
+            process-wide :class:`~repro.core.cache.TilingCache` (the
+            solver is deterministic per key, so this is safe; see
+            docs/COSTMODEL.md). Disable to force a fresh search.
     """
 
     name: str = "htvm"
@@ -33,6 +37,7 @@ class CompilerConfig:
     l1_budget: Optional[int] = None
     runtime: str = "htvm"
     check_l2: bool = True
+    tiling_cache: bool = True
 
     def with_overrides(self, **kwargs) -> "CompilerConfig":
         return replace(self, **kwargs)

@@ -180,19 +180,25 @@ class DoryTiler:
             objective=best_score, needs_tiling=True,
         )
 
-    def _max_feasible_oy(self, spec: LayerSpec, c_t: int, k_t: int
-                         ) -> Optional[int]:
+    def _max_feasible_oy(self, spec: LayerSpec, c_t: int, k_t: int,
+                         hi: Optional[int] = None) -> Optional[int]:
         """Largest feasible oy_t for fixed channel tiles (binary search).
 
         L1 bytes are monotone in oy_t, and so is the full objective
         (memory term and the Eq. 5 H_DMA both grow with oy_t while the
         PE heuristics ignore it), so per (c_t, k_t) only the maximal
         feasible oy_t can be optimal.
+
+        ``hi`` caps the search from above: L1 use also grows with
+        ``k_t`` (and with ``c_t`` for depthwise/add layers), so the
+        max feasible oy_t of a *larger* channel tile can never exceed
+        that of a smaller one — callers walking the candidate grid in
+        ascending order pass the previous result to shrink the range.
         """
         make = lambda oy: TileConfig(c_t=c_t, k_t=k_t, oy_t=oy, ox_t=spec.ox)
         if not self._feasible(spec, make(1)):
             return None
-        lo, hi = 1, spec.oy
+        lo, hi = 1, min(spec.oy, hi if hi is not None else spec.oy)
         while lo < hi:
             mid = (lo + hi + 1) // 2
             if self._feasible(spec, make(mid)):
@@ -201,24 +207,89 @@ class DoryTiler:
                 hi = mid - 1
         return lo
 
+    def _channel_row_configs(self, spec: LayerSpec):
+        """(c_t, max oy_t) pairs for depthwise/add layers.
+
+        Feasibility is monotone in c_t for these kinds (every L1 term
+        scales with the channel tile), so the previous max oy_t caps
+        the next binary search and the first infeasible c_t ends the
+        walk.
+        """
+        cap = 32 if spec.kind == "dwconv2d" else 0
+        prev_oy: Optional[int] = None
+        for c_t in _candidates(spec.in_channels, include_all_up_to=cap):
+            oy = self._max_feasible_oy(spec, c_t, c_t, hi=prev_oy)
+            if oy is None:
+                break  # larger channel tiles only use more L1
+            prev_oy = oy
+            yield TileConfig(c_t=c_t, k_t=c_t, oy_t=oy, ox_t=spec.ox)
+
+    def _conv_configs(self, spec: LayerSpec):
+        """Pruned (c_t, k_t, max oy_t) grid for digital conv2d.
+
+        Two reductions over the naive k x c product:
+
+        * monotone reuse (always exact): for fixed c_t, L1 use grows
+          with k_t, so the max feasible oy_t is non-increasing along
+          ascending k_t — the previous result caps the binary search,
+          and the first k_t with no feasible row tile ends the k-walk;
+        * dominated-pair dedup (``alpha > 0`` only): for fixed c_t the
+          memory-payload term grows *strictly* with k_t at equal oy_t
+          and the built-in heuristics never decrease in k_t (Eq. 5
+          H_DMA grows, Eqs. 3-4 ignore it), so within a plateau of
+          equal max-oy the largest k_t strictly dominates — the rest
+          of the plateau is never yielded. With ``alpha == 0`` scores
+          can tie exactly and the solver's first-seen/fewest-tiles
+          tie-break must see every candidate, so the dedup is skipped.
+        """
+        k_cands = _candidates(spec.out_channels, include_all_up_to=32)
+        c_cands = _candidates(spec.in_channels, include_all_up_to=32)
+        oy_of = {}
+        for c_t in c_cands:
+            prev_oy: Optional[int] = None
+            for k_t in k_cands:
+                oy = self._max_feasible_oy(spec, c_t, k_t, hi=prev_oy)
+                if oy is None:
+                    break  # larger k tiles only use more L1/weight mem
+                prev_oy = oy
+                oy_of[c_t, k_t] = oy
+        if self.alpha <= 0:
+            # every score can tie exactly: the solver's first-seen /
+            # fewest-tiles tie-break must see all candidates in the
+            # legacy k-outer order to pick identically to the unpruned
+            # solver
+            for k_t in k_cands:
+                for c_t in c_cands:
+                    oy = oy_of.get((c_t, k_t))
+                    if oy is not None:
+                        yield TileConfig(c_t=c_t, k_t=k_t, oy_t=oy,
+                                         ox_t=spec.ox)
+            return
+        for c_t in c_cands:
+            plateau: Optional[TileConfig] = None
+            for k_t in k_cands:
+                oy = oy_of.get((c_t, k_t))
+                if oy is None:
+                    break
+                if plateau is not None and plateau.oy_t != oy:
+                    yield plateau
+                plateau = TileConfig(c_t=c_t, k_t=k_t, oy_t=oy, ox_t=spec.ox)
+            if plateau is not None:
+                yield plateau
+
     def _candidate_configs(self, spec: LayerSpec):
         """Candidate tile configurations for the layer kind."""
         if spec.kind == "dense":
+            # feasibility (L1 + weight memory) is monotone in k_t: stop
+            # at the first infeasible candidate.
             for k_t in _candidates(spec.out_channels, include_all_up_to=64):
-                yield TileConfig(c_t=spec.in_channels, k_t=k_t)
+                cfg = TileConfig(c_t=spec.in_channels, k_t=k_t)
+                if not self._feasible(spec, cfg):
+                    break
+                yield cfg
             return
-        if spec.kind == "add":
-            for c_t in _candidates(spec.in_channels):
-                oy = self._max_feasible_oy(spec, c_t, c_t)
-                if oy is not None:
-                    yield TileConfig(c_t=c_t, k_t=c_t, oy_t=oy, ox_t=spec.ox)
-            return
-        if spec.kind == "dwconv2d":
-            # depthwise: channels and rows; the width is never tiled.
-            for c_t in _candidates(spec.in_channels, include_all_up_to=32):
-                oy = self._max_feasible_oy(spec, c_t, c_t)
-                if oy is not None:
-                    yield TileConfig(c_t=c_t, k_t=c_t, oy_t=oy, ox_t=spec.ox)
+        if spec.kind in ("add", "dwconv2d"):
+            yield from self._channel_row_configs(spec)
             return
         if self.target == "soc.analog":
             # weights sit in the macro; only row tiling is needed.
@@ -231,10 +302,4 @@ class DoryTiler:
             return
         # conv2d on digital: DORY tiles K, C (int32 partial sums) and
         # the output height; the width is never tiled (contiguous DMA).
-        k_cands = _candidates(spec.out_channels, include_all_up_to=32)
-        c_cands = _candidates(spec.in_channels, include_all_up_to=32)
-        for k_t in k_cands:
-            for c_t in c_cands:
-                oy = self._max_feasible_oy(spec, c_t, k_t)
-                if oy is not None:
-                    yield TileConfig(c_t=c_t, k_t=k_t, oy_t=oy, ox_t=spec.ox)
+        yield from self._conv_configs(spec)

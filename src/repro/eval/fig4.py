@@ -12,9 +12,11 @@ Latency is the full HTVM kernel-call cost on the digital accelerator.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core.cache import get_default_cache
 from ..dory.heuristics import (
     digital_heuristics, digital_pe_only_heuristics, no_heuristics,
 )
@@ -52,34 +54,45 @@ class Fig4Point:
 def sweep(layers: Optional[Sequence[LayerSpec]] = None,
           budgets: Optional[Sequence[int]] = None,
           strategies: Optional[Sequence[str]] = None,
-          params: Optional[DianaParams] = None) -> List[Fig4Point]:
-    """Run the Fig. 4 sweep; returns one point per (layer, strategy, budget)."""
+          params: Optional[DianaParams] = None,
+          jobs: Optional[int] = None) -> List[Fig4Point]:
+    """Run the Fig. 4 sweep; returns one point per (layer, strategy, budget).
+
+    Tiling solutions (and infeasibility) route through the process-wide
+    :class:`~repro.core.cache.TilingCache`, so repeated sweeps are
+    warm. ``jobs > 1`` evaluates the independent points concurrently;
+    the returned list keeps the serial layer/strategy/budget order.
+    """
     layers = list(layers) if layers is not None else fig4_layers()
     budgets = list(budgets) if budgets is not None else DEFAULT_BUDGETS
     strategies = list(strategies) if strategies is not None else list(STRATEGIES)
     soc = DianaSoC(params=params)
     accel = soc.accelerator("soc.digital")
+    cache = get_default_cache()
 
-    points: List[Fig4Point] = []
-    for spec in layers:
-        for strat in strategies:
-            heur = STRATEGIES[strat]()
-            for budget in budgets:
-                tiler = DoryTiler("soc.digital", soc.params, heur,
-                                  l1_budget=budget)
-                try:
-                    sol = tiler.solve(spec)
-                except TilingError:
-                    points.append(Fig4Point(spec.name, strat, budget, None))
-                    continue
-                rec = cost_layer(spec, sol, accel, soc.params)
-                cfg = sol.cfg
-                points.append(Fig4Point(
-                    spec.name, strat, budget, rec.total_cycles,
-                    needs_tiling=sol.needs_tiling,
-                    tile=f"K{cfg.k_t}xOY{cfg.oy_t}xOX{cfg.ox_t}",
-                ))
-    return points
+    def _point(task) -> Fig4Point:
+        spec, strat, budget = task
+        tiler = DoryTiler("soc.digital", soc.params, STRATEGIES[strat](),
+                          l1_budget=budget)
+        try:
+            sol = (cache.solve(tiler, spec) if cache is not None
+                   else tiler.solve(spec))
+        except TilingError:
+            return Fig4Point(spec.name, strat, budget, None)
+        rec = cost_layer(spec, sol, accel, soc.params)
+        cfg = sol.cfg
+        return Fig4Point(
+            spec.name, strat, budget, rec.total_cycles,
+            needs_tiling=sol.needs_tiling,
+            tile=f"K{cfg.k_t}xOY{cfg.oy_t}xOX{cfg.ox_t}",
+        )
+
+    tasks = [(spec, strat, budget) for spec in layers
+             for strat in strategies for budget in budgets]
+    if jobs is None or jobs <= 1 or len(tasks) <= 1:
+        return [_point(t) for t in tasks]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(_point, tasks))
 
 
 def max_heuristic_speedup(points: List[Fig4Point]) -> float:

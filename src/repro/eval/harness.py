@@ -14,6 +14,7 @@ Every run is verified bit-exact against the reference interpreter.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -94,12 +95,26 @@ def deploy(model: str, config: str,
 def run_table1(models: Optional[List[str]] = None,
                configs: Optional[List[str]] = None,
                params: Optional[DianaParams] = None,
-               verify: bool = True) -> List[DeploymentResult]:
-    """All Table I cells (or a subset)."""
+               verify: bool = True,
+               jobs: Optional[int] = None) -> List[DeploymentResult]:
+    """All Table I cells (or a subset).
+
+    ``jobs > 1`` deploys cells concurrently (thread fan-out; the
+    compiler, simulator and the shared tiling cache are thread-safe and
+    every cell is independent). Results keep the serial
+    model-major/config-minor order and are value-identical to a serial
+    run — each deployment is deterministic in (model, config, params).
+    """
     models = models or sorted(MLPERF_TINY)
     configs = configs or list(CONFIGS)
-    return [deploy(m, c, params=params, verify=verify)
-            for m in models for c in configs]
+    cells = [(m, c) for m in models for c in configs]
+    if jobs is None or jobs <= 1 or len(cells) <= 1:
+        return [deploy(m, c, params=params, verify=verify) for m, c in cells]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        return list(pool.map(
+            lambda cell: deploy(cell[0], cell[1], params=params,
+                                verify=verify),
+            cells))
 
 
 def format_table1(results: List[DeploymentResult]) -> str:

@@ -14,6 +14,7 @@ scaling.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -38,29 +39,38 @@ class SweepPoint:
 
 def sweep_param(param: str, values: Sequence, model: str = "resnet",
                 config: str = "digital",
-                base: Optional[DianaParams] = None) -> List[SweepPoint]:
+                base: Optional[DianaParams] = None,
+                jobs: Optional[int] = None) -> List[SweepPoint]:
     """Re-deploy ``model`` while sweeping one platform parameter.
 
     ``param`` must be a field of :class:`~repro.soc.DianaParams`
     (e.g. ``"l1_bytes"``, ``"dma_act_bytes_per_cycle"``,
     ``"dig_weight_bytes"``).
+
+    ``jobs > 1`` evaluates the sweep points concurrently; each point is
+    an independent (params, model) deployment, so the result list is
+    identical to the serial one (and stays in ``values`` order).
     """
     base = base or DianaParams()
     if not hasattr(base, param):
         raise ReproError(f"unknown platform parameter {param!r}")
-    points: List[SweepPoint] = []
-    for value in values:
+
+    def _point(value) -> SweepPoint:
         params = base.with_overrides(**{param: value})
         try:
             r = deploy(model, config, params=params, verify=False)
         except ReproError:
-            points.append(SweepPoint(param, value, model, config,
-                                     None, None, oom=True))
-            continue
-        points.append(SweepPoint(
+            return SweepPoint(param, value, model, config,
+                              None, None, oom=True)
+        return SweepPoint(
             param, value, model, config,
-            latency_ms=r.latency_ms, size_kb=r.size_kb, oom=r.oom))
-    return points
+            latency_ms=r.latency_ms, size_kb=r.size_kb, oom=r.oom)
+
+    values = list(values)
+    if jobs is None or jobs <= 1 or len(values) <= 1:
+        return [_point(v) for v in values]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(values))) as pool:
+        return list(pool.map(_point, values))
 
 
 def l1_size_sweep(model: str = "resnet",

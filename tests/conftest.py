@@ -2,14 +2,27 @@
 
 from __future__ import annotations
 
-import numpy as np
+import os
+import pathlib
+import sys
+
 import pytest
 
-from repro.core.compiler import compile_model
-from repro.core.config import HTVM
-from repro.ir import GraphBuilder
-from repro.runtime import Executor, random_inputs, run_reference
-from repro.soc import DianaSoC
+# Several tests spawn subprocesses (CLI invocations, example scripts).
+# pytest's ``pythonpath`` ini option puts src/ on *this* process's
+# sys.path but not in the environment, so export it for children too —
+# this keeps a bare ``python -m pytest`` equivalent to
+# ``PYTHONPATH=src python -m pytest``.
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+if _SRC not in os.environ.get("PYTHONPATH", "").split(os.pathsep):
+    os.environ["PYTHONPATH"] = os.pathsep.join(
+        [_SRC] + ([os.environ["PYTHONPATH"]]
+                  if os.environ.get("PYTHONPATH") else []))
+
+from helpers import assert_compiled_matches_reference, build_small_cnn  # noqa: E402,F401 (re-export for stragglers)
+from repro.soc import DianaSoC  # noqa: E402
 
 
 @pytest.fixture
@@ -33,31 +46,6 @@ def cpu_soc():
     return DianaSoC(enable_digital=False, enable_analog=False)
 
 
-def build_small_cnn(seed: int = 1, channels: int = 16, hw: int = 16):
-    """A small quantized CNN exercising conv/add/pool/dense/softmax."""
-    b = GraphBuilder(name="small_cnn", seed=seed)
-    x = b.input("data", (1, 3, hw, hw), "int8")
-    y = b.conv2d_requant(x, channels, kernel=3, padding=(1, 1))
-    z = b.conv2d_requant(y, channels, kernel=3, padding=(1, 1), relu=False)
-    r = b.add_requant(y, z, shift=1)
-    r = b.max_pool2d(r, 2)
-    r = b.flatten(r)
-    r = b.dense_requant(r, 10)
-    r = b.softmax(r)
-    return b.finish(r)
-
-
 @pytest.fixture
 def small_cnn():
     return build_small_cnn()
-
-
-def assert_compiled_matches_reference(graph, soc, config=HTVM, seed=3):
-    """Compile, execute on the SoC sim, compare against the interpreter."""
-    model = compile_model(graph, soc, config)
-    feeds = random_inputs(graph, seed=seed)
-    result = Executor(soc).run(model, feeds)
-    reference = run_reference(model.graph, feeds)
-    np.testing.assert_array_equal(
-        np.asarray(result.output), np.asarray(reference))
-    return model, result

@@ -12,7 +12,7 @@ from repro.dory import DoryTiler, digital_heuristics, emit_accel_layer, make_con
 from repro.frontend.modelzoo import resnet8, toyadmos_dae
 from repro.soc import DEFAULT_PARAMS, DianaSoC
 from repro.transforms import fuse_cpu_ops
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 def fused_bodies(graph):

@@ -10,7 +10,7 @@ from repro.errors import CodegenError, OutOfMemoryError
 from repro.frontend.modelzoo import mobilenet_v1, resnet8, toyadmos_dae
 from repro.runtime import Executor, random_inputs
 from repro.soc import DianaSoC
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 class TestConfigs:

@@ -15,7 +15,7 @@ from repro.errors import SimulationError
 from repro.ir import GraphBuilder
 from repro.runtime import Executor, random_inputs, run_reference
 from repro.soc import DianaParams, DianaSoC
-from conftest import assert_compiled_matches_reference, build_small_cnn
+from helpers import assert_compiled_matches_reference, build_small_cnn
 
 
 class TestSmallGraphs:

@@ -19,7 +19,7 @@ from repro.soc import (
     DEFAULT_ENERGY, DianaSoC, EnergyParams, energy_by_target_uj,
     execution_energy_uj,
 )
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 @pytest.fixture(scope="module")

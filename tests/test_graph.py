@@ -8,7 +8,7 @@ from repro.ir import (
     Call, Composite, Constant, ConstantTensor, Graph, GraphBuilder, Node,
     TensorType, Var, graph_to_text, summarize,
 )
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 class TestTopoOrder:

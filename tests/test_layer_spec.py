@@ -7,7 +7,7 @@ from repro.dory import LayerSpec, make_conv_spec, make_dense_spec, spec_from_com
 from repro.errors import UnsupportedError
 from repro.ir import GraphBuilder
 from repro.patterns import default_specs, partition
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 def first_composite(graph, pattern):

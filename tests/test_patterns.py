@@ -10,7 +10,7 @@ from repro.patterns import (
     find_matches, is_constant, is_op, partition, wildcard,
 )
 from repro.runtime import random_inputs, run_reference
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 def conv_graph(relu=True, out_dtype="int8"):

@@ -6,7 +6,7 @@ import pytest
 from repro.errors import SimulationError
 from repro.ir import GraphBuilder
 from repro.runtime import random_inputs, run_reference
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 class TestRunReference:

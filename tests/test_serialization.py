@@ -9,7 +9,7 @@ from repro.errors import IRError
 from repro.ir import graph_from_dict, graph_to_dict, load_graph, save_graph
 from repro.patterns import default_specs, partition
 from repro.runtime import random_inputs, run_reference
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 def roundtrip(graph):

@@ -10,7 +10,7 @@ from repro.eval.sweep import (
 from repro.frontend.modelzoo import resnet8
 from repro.runtime import validate_deployment
 from repro.soc import DianaSoC
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 class TestSweep:

@@ -9,7 +9,7 @@ from repro.transforms import (
     CPU_FUSED, Pass, PassManager, canonicalize, dense_to_conv2d,
     eliminate_dead_code, fold_constants, fuse_cpu_ops,
 )
-from conftest import build_small_cnn
+from helpers import build_small_cnn
 
 
 class TestConstantFolding:
