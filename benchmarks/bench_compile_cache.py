@@ -9,8 +9,8 @@ at the repo root.
 
 import json
 import pathlib
-import time
 
+from bench_timing import best_of
 from repro.core import HTVM, TilingCache, compile_model
 from repro.frontend.modelzoo import resnet8
 from repro.soc import DianaSoC
@@ -18,15 +18,6 @@ from repro.soc import DianaSoC
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_compile.json"
 REPS = 5
-
-
-def _best_of(fn, reps=REPS):
-    best = float("inf")
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def test_compile_cache_cold_vs_warm(report, benchmark):
@@ -47,8 +38,8 @@ def test_compile_cache_cold_vs_warm(report, benchmark):
     def warm():
         compile_model(graph, soc, config, cache=cache)
 
-    cold_s = _best_of(cold)
-    warm_s = _best_of(warm)
+    cold_s = best_of(cold, REPS)
+    warm_s = best_of(warm, REPS)
 
     stats = cache.stats()
     # the warm path performed zero DoryTiler.solve searches

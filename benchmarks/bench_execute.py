@@ -1,0 +1,183 @@
+"""Execution-engine benchmark: tiled vs. fast mode, batch 1 vs. batch 8.
+
+For every MLPerf Tiny model (digital configuration, 16 kB Eq. 2 budget
+so the DORY schedules are genuinely tiled) the benchmark measures the
+simulator wall-clock of
+
+* ``tiled``  — the tile-accurate verification mode,
+* ``fast``   — full-layer kernels + analytic cycle replay, batch 1,
+* ``fast`` at batch 8 — the vectorized throughput mode (per-sample).
+
+Every timed pair is first checked for byte-identical outputs and
+exactly equal cycle counts, and the four Table I configurations of
+ResNet-8 are cross-checked the same way — a divergence fails the run
+(this is the CI smoke gate). Results land in ``BENCH_execute.json``.
+
+Runs standalone (``python benchmarks/bench_execute.py --reps 1``) and
+under pytest.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from bench_timing import best_of
+from repro.core.compiler import compile_model
+from repro.eval.harness import CONFIGS
+from repro.frontend.modelzoo import MLPERF_TINY
+from repro.runtime import Executor, random_inputs, random_inputs_batched
+from repro.soc import DianaSoC
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_execute.json"
+MODELS = ("dscnn", "mobilenet", "resnet", "toyadmos")
+L1_BUDGET = 16 * 1024
+BATCH = 8
+REPS = 10
+
+
+class DivergenceError(AssertionError):
+    """Fast mode disagreed with tiled mode."""
+
+
+def _compiled(model: str, config: str):
+    precision, soc_kwargs, cfg = CONFIGS[config]
+    graph = MLPERF_TINY[model](precision=precision)
+    soc = DianaSoC(**soc_kwargs)
+    cfg = cfg.with_overrides(l1_budget=L1_BUDGET, check_l2=False)
+    return graph, soc, compile_model(graph, soc, cfg)
+
+
+def _check_equivalence(model: str, config: str, graph, soc, compiled,
+                       batch: int):
+    """Byte/cycle equality of fast vs. tiled, batch vs. per-sample."""
+    feeds = random_inputs(graph, seed=1)
+    tiled = Executor(soc, exec_mode="tiled").run(compiled, feeds)
+    fast = Executor(soc, exec_mode="fast").run(compiled, feeds)
+    if not np.array_equal(tiled.output, fast.output):
+        raise DivergenceError(f"{model}/{config}: fast output != tiled")
+    if tiled.total_cycles != fast.total_cycles:
+        raise DivergenceError(
+            f"{model}/{config}: cycles differ "
+            f"({fast.total_cycles} vs {tiled.total_cycles})")
+    if batch > 1:
+        bfeeds = random_inputs_batched(graph, batch, seed=1)
+        fb = Executor(soc, exec_mode="fast").run_batch(compiled, bfeeds)
+        if not np.array_equal(fb.outputs[:1], fast.output):
+            raise DivergenceError(
+                f"{model}/{config}: batched sample 0 != single-sample run")
+        if fb.perf.total_cycles != fast.total_cycles:
+            raise DivergenceError(
+                f"{model}/{config}: batched per-inference cycles differ")
+    return tiled.total_cycles
+
+
+def run_bench(models=MODELS, reps=REPS, batch=BATCH, write=True) -> dict:
+    """Measure all models + the Table I equivalence gate; return record."""
+    per_model = {}
+    for model in models:
+        graph, soc, compiled = _compiled(model, "digital")
+        _check_equivalence(model, "digital", graph, soc, compiled, batch)
+        feeds = random_inputs(graph, seed=1)
+        bfeeds = random_inputs_batched(graph, batch, seed=1)
+        tiled = Executor(soc, exec_mode="tiled")
+        fast = Executor(soc, exec_mode="fast")
+        tiled_s = best_of(lambda: tiled.run(compiled, feeds), reps)
+        fast_s = best_of(lambda: fast.run(compiled, feeds), reps)
+        fast_batch_s = best_of(lambda: fast.run_batch(compiled, bfeeds),
+                               max(1, reps // 2))
+        per_sample = fast_batch_s / batch
+        per_model[model] = {
+            "tiled_s": tiled_s,
+            "fast_s": fast_s,
+            "fast_batch_s": fast_batch_s,
+            "fast_batch_per_sample_s": per_sample,
+            "speedup_batch1": tiled_s / max(fast_s, 1e-12),
+            "speedup_throughput": tiled_s / max(per_sample, 1e-12),
+        }
+
+    equivalence = {}
+    for config in CONFIGS:
+        graph, soc, compiled = _compiled("resnet", config)
+        cycles = _check_equivalence("resnet", config, graph, soc, compiled,
+                                    batch)
+        equivalence[config] = {"bit_exact": True, "cycles_equal": True,
+                               "total_cycles": cycles}
+
+    resnet = per_model.get("resnet")
+    record = {
+        "config": "digital",
+        "l1_budget": L1_BUDGET,
+        "batch": batch,
+        "reps": reps,
+        "models": per_model,
+        "table1_equivalence": equivalence,
+        # headline: best end-to-end fast-vs-tiled ratio on resnet8
+        # (null when resnet was excluded from the measured set)
+        "resnet_speedup": (max(resnet["speedup_batch1"],
+                               resnet["speedup_throughput"])
+                           if resnet else None),
+    }
+    if write:
+        OUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _format(record: dict) -> str:
+    lines = [f"execution engine bench (digital, {L1_BUDGET // 1024} kB L1, "
+             f"best of {record['reps']}):"]
+    for model, r in record["models"].items():
+        lines.append(
+            f"  {model:<10} tiled {r['tiled_s'] * 1e3:8.3f} ms   "
+            f"fast {r['fast_s'] * 1e3:8.3f} ms ({r['speedup_batch1']:.2f}x)  "
+            f"batch-{record['batch']} {r['fast_batch_per_sample_s'] * 1e3:7.3f}"
+            f" ms/sample ({r['speedup_throughput']:.2f}x)")
+    lines.append("  table1 equivalence: " + ", ".join(
+        f"{cfg}: ok" for cfg in record["table1_equivalence"]))
+    if record["resnet_speedup"] is not None:
+        lines.append(f"  resnet8 end-to-end speedup: "
+                     f"{record['resnet_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def test_execute_fast_vs_tiled(report, benchmark):
+    """Equivalence gate + a quick timing pass (full run: CI / standalone)."""
+    record = run_bench(models=("resnet",), reps=3, write=False)
+    r = record["models"]["resnet"]
+    assert record["table1_equivalence"]["digital"]["bit_exact"]
+    # fast mode must actually be a fast path
+    assert r["speedup_batch1"] > 1.0
+    graph, soc, compiled = _compiled("resnet", "digital")
+    feeds = random_inputs(graph, seed=1)
+    fast = Executor(soc, exec_mode="fast")
+    benchmark(lambda: fast.run(compiled, feeds))
+    report(_format(record))
+
+
+def main(argv=None) -> int:
+    global OUT
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--batch", type=int, default=BATCH)
+    parser.add_argument("--models", nargs="+", default=list(MODELS),
+                        choices=sorted(MLPERF_TINY))
+    parser.add_argument("--out", default=str(OUT))
+    args = parser.parse_args(argv)
+    OUT = pathlib.Path(args.out)
+    try:
+        record = run_bench(models=tuple(args.models), reps=args.reps,
+                           batch=args.batch)
+    except DivergenceError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(_format(record))
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Shared timing helper for the micro-benchmarks.
+
+Lives next to the bench scripts (benchmarks/ is on ``sys.path`` both
+under pytest's rootdir insertion and when a script runs standalone), so
+every ``BENCH_*.json`` uses the same best-of methodology.
+"""
+
+import time
+
+
+def best_of(fn, reps):
+    """Minimum wall-clock of ``reps`` calls to ``fn`` (seconds)."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

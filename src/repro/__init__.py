@@ -31,7 +31,10 @@ from .errors import (
     PatternError, ReproError, ShapeError, SimulationError, TilingError,
     UnsupportedError,
 )
-from .runtime import ExecutionResult, Executor, random_inputs, run_reference
+from .runtime import (
+    BatchExecutionResult, ExecutionResult, Executor, random_inputs,
+    random_inputs_batched, run_reference, run_reference_batched,
+)
 from .soc import DEFAULT_PARAMS, DianaParams, DianaSoC, latency_ms
 
 __version__ = "1.0.0"
@@ -46,7 +49,9 @@ __all__ = [
     "CodegenError", "DispatchError", "IRError", "MemoryPlanError",
     "OutOfMemoryError", "PatternError", "ReproError", "ShapeError",
     "SimulationError", "TilingError", "UnsupportedError",
-    "ExecutionResult", "Executor", "random_inputs", "run_reference",
+    "BatchExecutionResult", "ExecutionResult", "Executor",
+    "random_inputs", "random_inputs_batched",
+    "run_reference", "run_reference_batched",
     "DEFAULT_PARAMS", "DianaParams", "DianaSoC", "latency_ms",
     "__version__",
 ]

@@ -18,6 +18,12 @@ Tiling solutions are memoized process-wide; ``--cache-file PATH``
 persists them across invocations (a warm run skips every DORY search)
 and ``--no-cache`` disables memoization. ``table1``/``fig4`` accept
 ``--jobs N`` to evaluate independent cells/points concurrently.
+
+``run``/``table1``/``fig4`` accept ``--exec-mode {tiled,fast}``:
+``tiled`` simulates every DORY tile (the verification mode), ``fast``
+computes full layers at once — byte-identical outputs, identical cycle
+counts, much lower wall-clock. ``run --batch N`` simulates a batch of
+inferences through the batched runtime.
 """
 
 from __future__ import annotations
@@ -35,7 +41,10 @@ from .errors import OutOfMemoryError, ReproError
 from .eval.harness import CONFIGS
 from .frontend.modelzoo import MLPERF_TINY
 from .ir import load_graph
-from .runtime import Executor, random_inputs, run_reference
+from .runtime import (
+    EXEC_MODES, Executor, random_inputs, random_inputs_batched,
+    run_reference, run_reference_batched,
+)
 from .soc import DianaSoC, latency_ms
 from .soc.energy import energy_by_target_uj, execution_energy_uj
 
@@ -113,15 +122,27 @@ def cmd_run(args) -> int:
     except OutOfMemoryError as exc:
         print(f"OUT OF MEMORY: {exc}")
         return 2
-    feeds = random_inputs(graph, seed=args.seed)
-    result = Executor(soc).run(model, feeds)
 
     import numpy as np
-    exact = np.array_equal(np.asarray(result.output),
-                           np.asarray(run_reference(model.graph, feeds)))
+    executor = Executor(soc, exec_mode=args.exec_mode)
+    if args.batch > 1:
+        feeds = random_inputs_batched(graph, args.batch, seed=args.seed)
+        result = executor.run_batch(model, feeds)
+        exact = np.array_equal(
+            np.asarray(result.outputs),
+            np.asarray(run_reference_batched(model.graph, feeds)))
+    else:
+        feeds = random_inputs(graph, seed=args.seed)
+        result = executor.run(model, feeds)
+        exact = np.array_equal(np.asarray(result.output),
+                               np.asarray(run_reference(model.graph, feeds)))
     print(model.summary())
-    print(f"latency : {latency_ms(result.total_cycles):.3f} ms "
-          f"(peak {latency_ms(result.peak_cycles):.3f} ms)")
+    per_inference = result.perf.total_cycles
+    print(f"latency : {latency_ms(per_inference):.3f} ms "
+          f"(peak {latency_ms(result.perf.peak_cycles):.3f} ms)"
+          + (f"; batch of {args.batch}: "
+             f"{latency_ms(result.total_cycles):.3f} ms total"
+             if args.batch > 1 else ""))
     energy = execution_energy_uj(result.perf, soc.params)
     split = ", ".join(f"{k}: {v:.1f} uJ" for k, v in
                       energy_by_target_uj(result.perf, soc.params).items())
@@ -139,7 +160,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_table1(args) -> int:
-    results = evaluation.run_table1(jobs=args.jobs)
+    results = evaluation.run_table1(jobs=args.jobs, exec_mode=args.exec_mode)
     print(evaluation.format_table1(results))
     claims = evaluation.summarize_claims(results)
     for key, value in claims.items():
@@ -155,10 +176,22 @@ def cmd_table2(args) -> int:
 
 
 def cmd_fig4(args) -> int:
-    points = evaluation.fig4.sweep(jobs=args.jobs)
+    if args.exec_mode is None:
+        # --verify defaults to the schedule-exercising mode: a fast-mode
+        # check compares the full-layer kernel against itself
+        args.exec_mode = "tiled" if args.verify else "fast"
+    points = evaluation.fig4.sweep(jobs=args.jobs, verify=args.verify,
+                                   exec_mode=args.exec_mode)
     print(evaluation.fig4.format_fig4(points))
     print(f"max heuristic speed-up: "
           f"{evaluation.fig4.max_heuristic_speedup(points):.2f}x")
+    if args.verify:
+        checked = [p for p in points if p.verified is not None]
+        bad = [p for p in checked if not p.verified]
+        print(f"functional check ({args.exec_mode}): "
+              f"{len(checked) - len(bad)}/{len(checked)} points bit-exact")
+        if bad:
+            return 1
     _print_cache_stats()
     return 0
 
@@ -182,6 +215,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="disable tiling-solution memoization")
 
+    def add_exec_mode_arg(p, default="tiled"):
+        p.add_argument("--exec-mode", choices=list(EXEC_MODES),
+                       default=default,
+                       help="accelerator simulation path: 'tiled' executes "
+                            "every DORY tile (verification mode), 'fast' "
+                            "computes full layers with identical outputs "
+                            "and cycle counts (default: %(default)s)")
+
     sub.add_parser("models", help="list the model zoo").set_defaults(
         fn=cmd_models)
 
@@ -197,11 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     p.add_argument("--config", choices=list(CONFIGS), default="mixed")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=1,
+                   help="simulate a batch of N inferences (N > 1 uses the "
+                        "batched runtime; verified per sample)")
     p.add_argument("--timeline", action="store_true",
                    help="print the Fig. 2-style execution timeline")
     p.add_argument("--layers", action="store_true",
                    help="print the per-layer cycle/energy report")
     add_cache_args(p)
+    add_exec_mode_arg(p)
     p.set_defaults(fn=cmd_run)
 
     for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
@@ -212,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="evaluate independent cells/points with "
                                 "this many concurrent workers")
             add_cache_args(p)
+        if name == "table1":
+            add_exec_mode_arg(p)
+        if name == "fig4":
+            add_exec_mode_arg(p, default=None)
+            p.add_argument("--verify", action="store_true",
+                           help="execute every swept tiling functionally "
+                                "in --exec-mode (default: tiled, the "
+                                "schedule-exercising mode) and byte-compare "
+                                "against the golden kernels")
         p.set_defaults(fn=fn)
     return parser
 

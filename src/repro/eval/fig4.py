@@ -13,8 +13,10 @@ Latency is the full HTVM kernel-call cost on the digital accelerator.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.cache import get_default_cache
 from ..dory.heuristics import (
@@ -24,7 +26,9 @@ from ..dory.layer_spec import LayerSpec
 from ..dory.tiler import DoryTiler
 from ..errors import TilingError
 from ..frontend.modelzoo import fig4_layers
+from .. import numerics as K
 from ..runtime.cost import cost_layer
+from ..runtime.executor import execute_layer_fast, execute_layer_tiled
 from ..soc import DianaParams, DianaSoC
 from .tables import format_table
 
@@ -49,19 +53,56 @@ class Fig4Point:
     cycles: Optional[float]      #: None when no feasible tiling exists
     needs_tiling: Optional[bool] = None
     tile: Optional[str] = None
+    verified: Optional[bool] = None  #: functional check result (if run)
+
+
+def _verify_point(accel, spec: LayerSpec, sol, exec_mode: str) -> bool:
+    """Execute one swept tiling functionally and byte-compare it.
+
+    The layer gets seeded random weights/bias/input; the chosen
+    ``exec_mode`` executes it through the runtime helpers and the result
+    is compared against a golden full-layer computation written directly
+    with the shared kernels. ``"tiled"`` therefore validates the whole
+    DORY schedule (halos, edge padding, partial sums) of every swept
+    point; ``"fast"`` is a cheap plumbing check.
+    """
+    rng = np.random.default_rng(0)
+    cg = spec.in_channels // spec.groups
+    w = rng.integers(-128, 128, (spec.out_channels, cg, spec.fy, spec.fx),
+                     dtype=np.int64).astype(np.int8)
+    bias = rng.integers(-(1 << 12), 1 << 12, spec.out_channels,
+                        dtype=np.int64).astype(np.int32)
+    vspec = replace(spec, weight=w, bias=bias)
+    x = rng.integers(-128, 128, (1, spec.in_channels, spec.iy, spec.ix),
+                     dtype=np.int64).astype(np.int8)
+    if exec_mode == "tiled":
+        got = execute_layer_tiled(accel, vspec, sol, x)
+    else:
+        got = execute_layer_fast(accel, vspec, x)
+    acc = K.conv2d(x, w, vspec.strides, vspec.padding, vspec.groups)
+    lo, hi = (-64, 63) if vspec.out_dtype == "int7" else (-128, 127)
+    want = K.bias_requantize(acc, bias, vspec.shift, vspec.relu, lo, hi)
+    return bool(np.array_equal(got, want))
 
 
 def sweep(layers: Optional[Sequence[LayerSpec]] = None,
           budgets: Optional[Sequence[int]] = None,
           strategies: Optional[Sequence[str]] = None,
           params: Optional[DianaParams] = None,
-          jobs: Optional[int] = None) -> List[Fig4Point]:
+          jobs: Optional[int] = None,
+          verify: bool = False,
+          exec_mode: str = "fast") -> List[Fig4Point]:
     """Run the Fig. 4 sweep; returns one point per (layer, strategy, budget).
 
     Tiling solutions (and infeasibility) route through the process-wide
     :class:`~repro.core.cache.TilingCache`, so repeated sweeps are
     warm. ``jobs > 1`` evaluates the independent points concurrently;
     the returned list keeps the serial layer/strategy/budget order.
+
+    ``verify=True`` additionally executes every feasible point
+    functionally in ``exec_mode`` and byte-compares it against the
+    golden kernels (see :func:`_verify_point`); the outcome lands in
+    :attr:`Fig4Point.verified`.
     """
     layers = list(layers) if layers is not None else fig4_layers()
     budgets = list(budgets) if budgets is not None else DEFAULT_BUDGETS
@@ -85,6 +126,9 @@ def sweep(layers: Optional[Sequence[LayerSpec]] = None,
             spec.name, strat, budget, rec.total_cycles,
             needs_tiling=sol.needs_tiling,
             tile=f"K{cfg.k_t}xOY{cfg.oy_t}xOX{cfg.ox_t}",
+            verified=(_verify_point(accel, spec, sol, exec_mode)
+                      if verify and spec.kind in ("conv2d", "dwconv2d")
+                      else None),
         )
 
     tasks = [(spec, strat, budget) for spec in layers

@@ -58,8 +58,16 @@ class DeploymentResult:
 def deploy(model: str, config: str,
            params: Optional[DianaParams] = None,
            verify: bool = True,
-           seed: int = 0) -> DeploymentResult:
-    """Compile + simulate one MLPerf Tiny model in one configuration."""
+           seed: int = 0,
+           exec_mode: str = "tiled") -> DeploymentResult:
+    """Compile + simulate one MLPerf Tiny model in one configuration.
+
+    ``exec_mode`` selects the simulator's functional path for
+    accelerator layers: ``"tiled"`` (default) executes every DORY tile
+    and is the verification mode; ``"fast"`` computes full layers in
+    one kernel call with byte-identical outputs and identical cycle
+    counts (see :class:`~repro.runtime.Executor`).
+    """
     if model not in MLPERF_TINY:
         raise KeyError(f"unknown model {model!r}; have {sorted(MLPERF_TINY)}")
     precision, soc_kwargs, cfg = CONFIGS[config]
@@ -78,7 +86,7 @@ def deploy(model: str, config: str,
         return result
 
     feeds = random_inputs(graph, seed=seed + 1)
-    execution = Executor(soc).run(compiled, feeds)
+    execution = Executor(soc, exec_mode=exec_mode).run(compiled, feeds)
     if verify:
         reference = run_reference(compiled.graph, feeds)
         result.verified = bool(np.array_equal(
@@ -96,9 +104,12 @@ def run_table1(models: Optional[List[str]] = None,
                configs: Optional[List[str]] = None,
                params: Optional[DianaParams] = None,
                verify: bool = True,
-               jobs: Optional[int] = None) -> List[DeploymentResult]:
+               jobs: Optional[int] = None,
+               exec_mode: str = "tiled") -> List[DeploymentResult]:
     """All Table I cells (or a subset).
 
+    ``exec_mode`` is forwarded to every :func:`deploy` (``"fast"``
+    accelerates large sweeps; results are bit- and cycle-identical).
     ``jobs > 1`` deploys cells concurrently (thread fan-out; the
     compiler, simulator and the shared tiling cache are thread-safe and
     every cell is independent). Results keep the serial
@@ -109,11 +120,12 @@ def run_table1(models: Optional[List[str]] = None,
     configs = configs or list(CONFIGS)
     cells = [(m, c) for m in models for c in configs]
     if jobs is None or jobs <= 1 or len(cells) <= 1:
-        return [deploy(m, c, params=params, verify=verify) for m, c in cells]
+        return [deploy(m, c, params=params, verify=verify,
+                       exec_mode=exec_mode) for m, c in cells]
     with ThreadPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
         return list(pool.map(
             lambda cell: deploy(cell[0], cell[1], params=params,
-                                verify=verify),
+                                verify=verify, exec_mode=exec_mode),
             cells))
 
 

@@ -40,12 +40,18 @@ class SweepPoint:
 def sweep_param(param: str, values: Sequence, model: str = "resnet",
                 config: str = "digital",
                 base: Optional[DianaParams] = None,
-                jobs: Optional[int] = None) -> List[SweepPoint]:
+                jobs: Optional[int] = None,
+                exec_mode: str = "fast") -> List[SweepPoint]:
     """Re-deploy ``model`` while sweeping one platform parameter.
 
     ``param`` must be a field of :class:`~repro.soc.DianaParams`
     (e.g. ``"l1_bytes"``, ``"dma_act_bytes_per_cycle"``,
     ``"dig_weight_bytes"``).
+
+    Sweeps default to ``exec_mode="fast"``: cycle counts (the sweep's
+    output) are identical to tiled execution, and tile-accurate
+    functional simulation of every point would only burn wall-clock —
+    pass ``exec_mode="tiled"`` to re-verify schedules anyway.
 
     ``jobs > 1`` evaluates the sweep points concurrently; each point is
     an independent (params, model) deployment, so the result list is
@@ -58,7 +64,8 @@ def sweep_param(param: str, values: Sequence, model: str = "resnet",
     def _point(value) -> SweepPoint:
         params = base.with_overrides(**{param: value})
         try:
-            r = deploy(model, config, params=params, verify=False)
+            r = deploy(model, config, params=params, verify=False,
+                       exec_mode=exec_mode)
         except ReproError:
             return SweepPoint(param, value, model, config,
                               None, None, oom=True)

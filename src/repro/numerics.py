@@ -16,25 +16,133 @@ All kernels follow TFLite-style integer semantics:
 
 from __future__ import annotations
 
+import threading
+import weakref
+
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .errors import SimulationError
 
 
-def pad_nchw(x: np.ndarray, padding, value: int = 0) -> np.ndarray:
-    """Zero-pad the two spatial dims of an NCHW tensor."""
+def _pad_pairs(padding):
+    """Normalize ``((pt, pb), (pl, pr))`` / symmetric ``(ph, pw)`` pads."""
     ph, pw = padding
-    if ph == 0 and pw == 0:
+    pt, pb = (ph, ph) if np.isscalar(ph) else ph
+    pl, pr = (pw, pw) if np.isscalar(pw) else pw
+    return pt, pb, pl, pr
+
+
+def pad_nchw(x: np.ndarray, padding, value: int = 0) -> np.ndarray:
+    """Zero-pad the two spatial dims of an NCHW tensor.
+
+    ``padding`` is either symmetric ``(ph, pw)`` or asymmetric
+    ``((pad_top, pad_bottom), (pad_left, pad_right))`` — the latter is
+    what edge tiles of a DORY schedule need.
+    """
+    pt, pb, pl, pr = _pad_pairs(padding)
+    if pt == 0 and pb == 0 and pl == 0 and pr == 0:
         return x
     return np.pad(
-        x, ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+        x, ((0, 0), (0, 0), (pt, pb), (pl, pr)),
         mode="constant", constant_values=value,
     )
+
+
+def _pad_cast(x: np.ndarray, padding, acc_dt) -> np.ndarray:
+    """Zero-pad and cast in one pass (conv/pool input preparation)."""
+    pt, pb, pl, pr = _pad_pairs(padding)
+    if pt == 0 and pb == 0 and pl == 0 and pr == 0:
+        return np.asarray(x, dtype=acc_dt)
+    n, c, ih, iw = x.shape
+    out = np.zeros((n, c, ih + pt + pb, iw + pl + pr), dtype=acc_dt)
+    out[:, :, pt:pt + ih, pl:pl + iw] = x
+    return out
+
+
+def _windows(xp: np.ndarray, fh: int, fw: int, sh: int, sw: int) -> np.ndarray:
+    """Strided ``(n, c, oh, ow, fh, fw)`` view of all filter windows."""
+    win = sliding_window_view(xp, (fh, fw), axis=(2, 3))
+    return win[:, :, ::sh, ::sw]
+
+
+def _acc_dtype(x: np.ndarray, w: np.ndarray, reduction: int):
+    """Accumulation dtype for a MAC reduction: BLAS floats when exact.
+
+    int8 products stay below 2**14, so up to 1024 taps the true sum is
+    at most 2**24 — every such integer is exactly representable in
+    float32 and the contraction runs on sgemm. int16-or-narrower
+    operands over at most 2**20 taps bound the sum by 2**50, inside
+    float64's 53-bit exact-integer range (dgemm). Casting the exact
+    float accumulator through int64 to int32 then reproduces the
+    hardware's two's-complement wraparound bit-for-bit. Anything wider
+    falls back to modular int32 arithmetic directly.
+    """
+    if x.dtype.kind != "i" or w.dtype.kind != "i":
+        return np.int32
+    if (x.dtype.itemsize == 1 and w.dtype.itemsize == 1
+            and reduction <= (1 << 10)):
+        return np.float32
+    if (x.dtype.itemsize <= 2 and w.dtype.itemsize <= 2
+            and reduction <= (1 << 20)):
+        return np.float64
+    return np.int32
+
+
+#: id -> (weakref to source, dtype, cast copy). Weights are static
+#: across inferences, so their float cast is worth memoizing; the
+#: weakref guard detects id reuse after garbage collection. The lock
+#: covers mutation (lookups are GIL-atomic) — the parallel harness
+#: runs kernels from several threads.
+_CAST_MEMO: dict = {}
+_CAST_LOCK = threading.Lock()
+
+
+def _memo_cast(w: np.ndarray, dt) -> np.ndarray:
+    """Memoized ``w.astype(dt)`` for long-lived (weight) arrays."""
+    if w.base is not None:
+        # views (per-tile weight slices) are fresh objects every call:
+        # memoizing them can never hit, only churn the table
+        return w.astype(dt)
+    entry = _CAST_MEMO.get(id(w))
+    if entry is not None:
+        ref, entry_dt, arr = entry
+        if ref() is w and entry_dt == dt:
+            return arr
+    arr = w.astype(dt)
+    try:
+        ref = weakref.ref(w)
+    except TypeError:  # some array subclasses refuse weakrefs
+        return arr
+    with _CAST_LOCK:
+        if len(_CAST_MEMO) > 256:  # prune dead entries (stale slices)
+            for key in [k for k, (r, _, _) in list(_CAST_MEMO.items())
+                        if r() is None]:
+                _CAST_MEMO.pop(key, None)
+        _CAST_MEMO[id(w)] = (ref, dt, arr)
+    return arr
+
+
+def _to_int32(acc: np.ndarray) -> np.ndarray:
+    """Exact float accumulator -> int32 with wraparound semantics."""
+    if acc.dtype == np.int32:
+        return acc
+    if acc.dtype == np.float32:
+        # _acc_dtype bounds float32 sums by 2**24: always in int32 range
+        return acc.astype(np.int32)
+    return acc.astype(np.int64).astype(np.int32)
 
 
 def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
            groups: int = 1) -> np.ndarray:
     """Grouped 2D convolution, int32 accumulation.
+
+    Dense convolutions (``groups == 1``) run as a single im2col-style
+    tensor contraction over a stride-tricks window view; depthwise
+    convolutions (``C_g == 1``) use a dedicated einsum path with no
+    Python loop over channels. int32 addition is associative and
+    commutative even under wraparound, so both are byte-identical to
+    the naive loop nest.
 
     Args:
         x: NCHW input (any integer dtype).
@@ -52,36 +160,98 @@ def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
     if cg != c // groups:
         raise SimulationError("conv2d: weight/groups mismatch")
     sh, sw = strides
-    xp = pad_nchw(x.astype(np.int32), padding)
+    acc_dt = _acc_dtype(x, w, cg * fh * fw)
+    xp = _pad_cast(x, padding, acc_dt)
     oh = (xp.shape[2] - fh) // sh + 1
     ow = (xp.shape[3] - fw) // sw + 1
-    out = np.zeros((n, k, oh, ow), dtype=np.int32)
-    w32 = w.astype(np.int32)
+    if oh <= 0 or ow <= 0:
+        return np.zeros((n, k, max(oh, 0), max(ow, 0)), dtype=np.int32)
+    wa = _memo_cast(w, acc_dt)
     kg = k // groups
-    for g in range(groups):
-        xg = xp[:, g * cg:(g + 1) * cg]
-        wg = w32[g * kg:(g + 1) * kg]
-        acc = np.zeros((n, kg, oh, ow), dtype=np.int32)
+    if groups == 1:
+        if fh == 1 and fw == 1 and sh == 1 and sw == 1:
+            # pointwise conv: a batched GEMM over the flattened feature
+            # map, no im2col copy
+            out = wa[:, :, 0, 0] @ xp.reshape(n, c, oh * ow)
+            return _to_int32(out.reshape(n, k, oh, ow))
+        if fh * fw <= 25:
+            # small filters: one GEMM per tap beats materializing the
+            # im2col gather
+            ihp, iwp = xp.shape[2], xp.shape[3]
+            acc = np.empty((n, k, oh, ow), dtype=acc_dt)
+            first = True  # tap 0 initializes acc, saving a zeroing pass
+            if sh == 1 and sw == 1:
+                # stride 1: GEMM the full feature map per tap (operands
+                # stay contiguous, no slice copies), accumulate shifted
+                # views of the result
+                xf = xp.reshape(n, c, ihp * iwp)
+                y = np.empty((n, k, ihp * iwp), dtype=acc_dt)
+                yv = y.reshape(n, k, ihp, iwp)
+                for dy in range(fh):
+                    for dx in range(fw):
+                        np.matmul(wa[:, :, dy, dx], xf, out=y)
+                        tap = yv[:, :, dy:dy + oh, dx:dx + ow]
+                        if first:
+                            np.copyto(acc, tap)
+                            first = False
+                        else:
+                            acc += tap
+                return _to_int32(acc)
+            for dy in range(fh):
+                for dx in range(fw):
+                    sl = np.ascontiguousarray(
+                        xp[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw])
+                    tap = (wa[:, :, dy, dx]
+                           @ sl.reshape(n, c, -1)).reshape(n, k, oh, ow)
+                    if first:
+                        np.copyto(acc, tap)
+                        first = False
+                    else:
+                        acc += tap
+            return _to_int32(acc)
+        # large filters: im2col contraction
+        # (n, c, oh, ow, fh, fw) x (k, c, fh, fw) -> (n, oh, ow, k)
+        win = _windows(xp, fh, fw, sh, sw)
+        out = np.tensordot(win, wa, axes=((1, 4, 5), (1, 2, 3)))
+        return _to_int32(np.ascontiguousarray(out.transpose(0, 3, 1, 2)))
+    if cg == 1 and kg == 1:
+        # depthwise: per-tap multiply-accumulate, vectorized over all
+        # channels (no Python loop over groups)
+        wd = wa[:, 0]
+        acc = np.zeros((n, k, oh, ow), dtype=acc_dt)
         for dy in range(fh):
             for dx in range(fw):
-                patch = xg[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw]
-                # (n, cg, oh, ow) x (kg, cg) -> (n, kg, oh, ow)
-                acc += np.einsum("nchw,kc->nkhw", patch, wg[:, :, dy, dx],
-                                 dtype=np.int32)
-        out[:, g * kg:(g + 1) * kg] = acc
+                acc += (xp[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw]
+                        * wd[None, :, dy, dx, None, None])
+        return _to_int32(acc)
+    win = _windows(xp, fh, fw, sh, sw)
+    if cg == 1:
+        # channel-multiplier depthwise: every group owns one input
+        # channel, so the whole layer is one einsum
+        wg = wa.reshape(groups, kg, fh, fw)
+        out = np.einsum("nghwyx,gkyx->ngkhw", win, wg, dtype=acc_dt)
+        return _to_int32(np.ascontiguousarray(out.reshape(n, k, oh, ow)))
+    out = np.empty((n, k, oh, ow), dtype=np.int32)
+    for g in range(groups):
+        res = np.tensordot(win[:, g * cg:(g + 1) * cg],
+                           wa[g * kg:(g + 1) * kg],
+                           axes=((1, 4, 5), (1, 2, 3)))
+        out[:, g * kg:(g + 1) * kg] = _to_int32(res).transpose(0, 3, 1, 2)
     return out
 
 
 def dense(x: np.ndarray, w: np.ndarray) -> np.ndarray:
     """Fully-connected layer: x[N,C] @ w[K,C]^T with int32 accumulation."""
-    return x.astype(np.int32) @ w.astype(np.int32).T
+    acc_dt = _acc_dtype(x, w, x.shape[-1])
+    return _to_int32(x.astype(acc_dt) @ _memo_cast(w, acc_dt).T)
 
 
 def bias_add(x: np.ndarray, bias: np.ndarray, axis: int = 1) -> np.ndarray:
     """Add a per-channel bias along ``axis``."""
     shape = [1] * x.ndim
     shape[axis] = bias.shape[0]
-    return x.astype(np.int32) + bias.astype(np.int32).reshape(shape)
+    return (np.asarray(x, dtype=np.int32)
+            + np.asarray(bias, dtype=np.int32).reshape(shape))
 
 
 def right_shift(x: np.ndarray, shift: int, rounding: bool = True) -> np.ndarray:
@@ -89,7 +259,7 @@ def right_shift(x: np.ndarray, shift: int, rounding: bool = True) -> np.ndarray:
     shift = int(shift)
     if shift < 0:
         raise SimulationError(f"negative shift {shift}")
-    x = x.astype(np.int32)
+    x = np.asarray(x, dtype=np.int32)
     if shift == 0:
         return x
     if rounding:
@@ -102,7 +272,7 @@ def clip(x: np.ndarray, a_min: int, a_max: int) -> np.ndarray:
 
 
 def cast(x: np.ndarray, np_dtype) -> np.ndarray:
-    return x.astype(np_dtype)
+    return np.asarray(x, dtype=np_dtype)
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -111,20 +281,19 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 def add(x: np.ndarray, y: np.ndarray, out_dtype=None) -> np.ndarray:
     dt = np.int32 if out_dtype is None else out_dtype
-    return x.astype(dt) + y.astype(dt)
+    return np.asarray(x, dtype=dt) + np.asarray(y, dtype=dt)
 
 
 def avg_pool2d(x: np.ndarray, pool_size, strides, padding) -> np.ndarray:
-    """Integer average pooling with round-to-nearest."""
+    """Integer average pooling with round-to-nearest.
+
+    The window sum runs over a sliding-window view; int32 addition is
+    order-independent, so this is bit-exact vs. the per-tap loop.
+    """
     fh, fw = pool_size
     sh, sw = strides
     xp = pad_nchw(x.astype(np.int32), padding)
-    oh = (xp.shape[2] - fh) // sh + 1
-    ow = (xp.shape[3] - fw) // sw + 1
-    acc = np.zeros((x.shape[0], x.shape[1], oh, ow), dtype=np.int32)
-    for dy in range(fh):
-        for dx in range(fw):
-            acc += xp[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw]
+    acc = _windows(xp, fh, fw, sh, sw).sum(axis=(4, 5), dtype=np.int32)
     count = fh * fw
     # round-half-up for negatives too (matches DORY's emitted C)
     return np.floor_divide(acc + count // 2, count).astype(x.dtype)
@@ -136,14 +305,7 @@ def max_pool2d(x: np.ndarray, pool_size, strides, padding) -> np.ndarray:
     sh, sw = strides
     lo = np.iinfo(x.dtype).min
     xp = pad_nchw(x, padding, value=lo)
-    oh = (xp.shape[2] - fh) // sh + 1
-    ow = (xp.shape[3] - fw) // sw + 1
-    out = np.full((x.shape[0], x.shape[1], oh, ow), lo, dtype=x.dtype)
-    for dy in range(fh):
-        for dx in range(fw):
-            np.maximum(out, xp[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw],
-                       out=out)
-    return out
+    return _windows(xp, fh, fw, sh, sw).max(axis=(4, 5))
 
 
 def global_avg_pool2d(x: np.ndarray) -> np.ndarray:
@@ -164,10 +326,43 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def requantize(acc: np.ndarray, shift: int, relu_after: bool,
                a_min: int = -128, a_max: int = 127) -> np.ndarray:
-    """The full requantization tail: shift, clip, cast int8, optional ReLU."""
-    out = clip(right_shift(acc, shift), a_min, a_max).astype(np.int8)
+    """The full requantization tail: shift, clip, cast int8, optional ReLU.
+
+    ReLU is folded into the clip lower bound — identical to clipping
+    first and maxing after the int8 cast, one array pass cheaper.
+    """
     if relu_after:
-        out = np.maximum(out, 0)
+        a_min = max(a_min, 0)
+    return clip(right_shift(acc, shift), a_min, a_max).astype(np.int8)
+
+
+def bias_requantize(acc: np.ndarray, bias, shift: int, relu_after: bool,
+                    a_min: int = -128, a_max: int = 127) -> np.ndarray:
+    """Fused ``bias_add`` + :func:`requantize` (one layer's output tail).
+
+    The per-channel bias and the round-half-up term are combined into a
+    single broadcast add — int32 addition is associative mod 2**32, so
+    the result is byte-identical to the unfused sequence.
+    """
+    shift = int(shift)
+    if shift < 0:
+        raise SimulationError(f"negative shift {shift}")
+    acc = np.asarray(acc, dtype=np.int32)
+    rnd = np.int32(1) << np.int32(shift - 1) if shift > 0 else np.int32(0)
+    if bias is not None:
+        shape = [1] * acc.ndim
+        shape[1] = bias.shape[0]
+        acc = acc + (np.asarray(bias, dtype=np.int32) + rnd).reshape(shape)
+    elif rnd:
+        acc = acc + rnd
+    if shift > 0:
+        # rnd > 0 forced an add above, so acc is a temporary we own
+        np.right_shift(acc, np.int32(shift), out=acc)
+    if relu_after:
+        a_min = max(a_min, 0)
+    out = np.empty(acc.shape, dtype=np.int8)
+    # post-clip values fit int8, so the narrowing cast is exact
+    np.clip(acc, a_min, a_max, out=out, casting="unsafe")
     return out
 
 

@@ -1,12 +1,22 @@
 """Runtime: reference interpreter, numeric kernels, SoC executor."""
 
 from .cost import accumulate_accel_cost, cost_layer
-from .executor import ExecutionResult, Executor
-from .reference import random_inputs, run_reference
+from .executor import (
+    EXEC_MODES, BatchExecutionResult, ExecutionResult, Executor,
+    execute_layer_fast, execute_layer_tiled,
+)
+from .reference import (
+    CompiledPlan, compile_plan, random_inputs, random_inputs_batched,
+    run_reference, run_reference_batched,
+)
 from .validate import ValidationReport, validate_deployment
 
 __all__ = [
-    "ExecutionResult", "Executor", "accumulate_accel_cost", "cost_layer",
-    "random_inputs", "run_reference",
+    "EXEC_MODES", "BatchExecutionResult", "ExecutionResult", "Executor",
+    "accumulate_accel_cost", "cost_layer",
+    "execute_layer_fast", "execute_layer_tiled",
+    "CompiledPlan", "compile_plan",
+    "random_inputs", "random_inputs_batched",
+    "run_reference", "run_reference_batched",
     "ValidationReport", "validate_deployment",
 ]

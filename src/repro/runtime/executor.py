@@ -1,12 +1,28 @@
 """Graph runtime: executes a compiled model on the simulated DIANA SoC.
 
 For every step the executor produces both the *functional* result
-(bit-exact integer numpy computation, tile by tile for accelerator
-layers) and the *cycle cost* (DMA + compute + overheads, per the cost
-models in :mod:`repro.soc`). Because accelerator layers are executed by
-actually iterating the DORY tiling — slicing halos, padding edge tiles,
-writing back output tiles — any tiling bug shows up as a numerical
-mismatch against the reference interpreter.
+(bit-exact integer numpy computation) and the *cycle cost* (DMA +
+compute + overheads, per the cost models in :mod:`repro.soc`). Cycle
+accounting is analytic — it depends only on the
+:class:`~repro.dory.tiling_types.TilingSolution`, never on the tile
+arithmetic — which permits two execution modes:
+
+* ``"tiled"`` (default, verification mode) — accelerator layers are
+  executed by actually iterating the DORY tiling: slicing halos,
+  padding edge tiles, accumulating int32 partial sums across C blocks,
+  writing back output tiles. Any tiling bug shows up as a numerical
+  mismatch against the reference interpreter.
+* ``"fast"`` — each accelerator layer's output is computed once with
+  the full-layer kernel while the per-tile DMA/compute cycles are still
+  accumulated from the tiling solution. Outputs are byte-identical and
+  cycle counts exactly equal to tiled mode (int32 accumulation is
+  order-independent; the cost path is literally the same code), at a
+  fraction of the simulation wall-clock.
+
+Fast mode also supports batched (N > 1) inference for throughput
+scenarios: the numeric kernels evaluate the whole batch in one pass
+while cycles/L2 occupancy are modeled per inference (DIANA processes
+samples sequentially; batching is a simulator-side vectorization).
 """
 
 from __future__ import annotations
@@ -21,11 +37,15 @@ from ..dory.layer_spec import LayerSpec
 from ..dory.tiling_types import Tile, TilingSolution
 from ..errors import SimulationError
 from ..soc.perf import PerfCounters
+from .. import numerics as K
 from .cost import accumulate_accel_cost
-from .reference import run_reference
+from .reference import compile_plan
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
     from ..soc.diana import DianaSoC
+
+#: the two functional execution modes of accelerator layers.
+EXEC_MODES = ("tiled", "fast")
 
 
 @dataclass
@@ -45,6 +65,29 @@ class ExecutionResult:
         return self.perf.peak_cycles
 
 
+@dataclass
+class BatchExecutionResult:
+    """Outputs + per-inference counters of one batched (N > 1) run.
+
+    ``perf`` holds the counters of a *single* inference — cycle cost is
+    input-independent, so every sample costs the same; the SoC runs
+    samples back to back and totals scale linearly with ``batch``.
+    """
+
+    outputs: np.ndarray
+    perf: PerfCounters
+    batch: int
+    l2_peak_bytes: int
+
+    @property
+    def total_cycles(self) -> float:
+        return self.batch * self.perf.total_cycles
+
+    @property
+    def peak_cycles(self) -> float:
+        return self.batch * self.perf.peak_cycles
+
+
 def _as_chw(arr: np.ndarray) -> np.ndarray:
     """Drop the batch dim: executor tiles operate on (C, H, W) views."""
     if arr.ndim == 4:
@@ -54,30 +97,150 @@ def _as_chw(arr: np.ndarray) -> np.ndarray:
     raise SimulationError(f"unsupported activation rank {arr.ndim}")
 
 
-def _tile_input(x_chw: np.ndarray, spec: LayerSpec, tile: Tile) -> np.ndarray:
+def _tile_input(x_chw: np.ndarray, tile: Tile) -> np.ndarray:
     """Slice + zero-pad the input slab one tile needs (NCHW, N=1)."""
     slab = x_chw[tile.c0:tile.c1, tile.iy0:tile.iy1, tile.ix0:tile.ix1]
-    if tile.pad_top or tile.pad_bottom or tile.pad_left or tile.pad_right:
-        slab = np.pad(
-            slab,
-            ((0, 0), (tile.pad_top, tile.pad_bottom),
-             (tile.pad_left, tile.pad_right)),
-            mode="constant",
-        )
-    return slab[None, ...]
+    return K.pad_nchw(slab[None, ...],
+                      ((tile.pad_top, tile.pad_bottom),
+                       (tile.pad_left, tile.pad_right)))
+
+
+def _alloc_output(spec: LayerSpec, batch: int = 1) -> np.ndarray:
+    if spec.kind == "dense":
+        return np.zeros((batch, spec.out_channels), dtype=np.int8)
+    return np.zeros((batch, spec.out_channels, spec.oy, spec.ox),
+                    dtype=np.int8)
+
+
+def _compute_tile(accel, spec: LayerSpec, tile: Tile,
+                  x_chw: np.ndarray, y_chw: Optional[np.ndarray],
+                  out_chw: np.ndarray, pending: Dict[tuple, np.ndarray]):
+    bias = spec.bias[tile.k0:tile.k1] if spec.bias is not None else None
+    if spec.kind == "dense":
+        w = spec.weight[tile.k0:tile.k1]
+        res = accel.execute(spec, x_chw[:, 0, 0][None, ...], w, bias)
+        out_chw[tile.k0:tile.k1, 0, 0] = res[0]
+        return
+    if spec.kind == "add":
+        xa = x_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
+                   tile.ox0:tile.ox1][None, ...]
+        yb = y_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
+                   tile.ox0:tile.ox1][None, ...]
+        res = accel.execute(spec, xa, None, bias, y=yb)
+        out_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
+                tile.ox0:tile.ox1] = res[0]
+        return
+    xin = _tile_input(x_chw, tile)
+    if spec.is_depthwise:
+        w = spec.weight[tile.k0:tile.k1]
+        res = accel.execute(spec, xin, w, bias, padding=(0, 0))
+        out_chw[tile.k0:tile.k1, tile.oy0:tile.oy1,
+                tile.ox0:tile.ox1] = res[0]
+        return
+    # conv2d: accumulate int32 partial sums across C blocks, then
+    # requantize once — exactly what the generated tile loop does.
+    w = spec.weight[tile.k0:tile.k1, tile.c0:tile.c1]
+    acc = accel.accumulate(spec, xin, w, padding=(0, 0))
+    key = (tile.k0, tile.oy0, tile.ox0)
+    if key in pending:
+        acc = pending.pop(key) + acc
+    if not tile.last_reduction:
+        pending[key] = acc
+        return
+    res = accel.finalize(spec, acc, bias)
+    out_chw[tile.k0:tile.k1, tile.oy0:tile.oy1, tile.ox0:tile.ox1] = res[0]
+
+
+def execute_layer_tiled(accel, spec: LayerSpec, sol: TilingSolution,
+                        x: np.ndarray,
+                        y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Tile-by-tile functional execution of one accelerator layer (N=1).
+
+    Exercises the full DORY schedule: halo slicing, edge-tile padding,
+    K/C/row blocking and int32 partial-sum accumulation.
+    """
+    x_chw = _as_chw(x)
+    y_chw = _as_chw(y) if y is not None else None
+    out = _alloc_output(spec)
+    out_chw = _as_chw(out)
+    pending: Dict[tuple, np.ndarray] = {}  # int32 partial sums in L1
+    for tile in sol.tiles():
+        _compute_tile(accel, spec, tile, x_chw, y_chw, out_chw, pending)
+    if pending:
+        raise SimulationError(
+            f"{spec.name}: {len(pending)} unfinished partial sums")
+    return out
+
+
+def execute_layer_fast(accel, spec: LayerSpec, x: np.ndarray,
+                       y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Full-layer functional execution of one accelerator layer.
+
+    One kernel call over the whole (possibly batched) input; bit-exact
+    vs. :func:`execute_layer_tiled` because int32 accumulation is
+    order-independent.
+    """
+    if spec.kind == "add":
+        return accel.execute(spec, x, None, spec.bias, y=y)
+    return accel.execute(spec, x, spec.weight, spec.bias)
 
 
 class Executor:
-    """Runs compiled models on a :class:`~repro.soc.diana.DianaSoC`."""
+    """Runs compiled models on a :class:`~repro.soc.diana.DianaSoC`.
 
-    def __init__(self, soc: "DianaSoC"):
+    ``exec_mode`` selects how accelerator layers are computed:
+    ``"tiled"`` (default) executes every DORY tile and is the
+    verification mode; ``"fast"`` computes each layer in one full-layer
+    kernel call with identical outputs and cycle counts.
+    """
+
+    def __init__(self, soc: "DianaSoC", exec_mode: str = "tiled"):
+        if exec_mode not in EXEC_MODES:
+            raise SimulationError(
+                f"unknown exec_mode {exec_mode!r}; expected one of {EXEC_MODES}")
         self.soc = soc
+        self.exec_mode = exec_mode
 
     # -- public API -----------------------------------------------------------
 
     def run(self, model: CompiledModel,
             feeds: Dict[str, np.ndarray]) -> ExecutionResult:
         """Execute one inference; returns output + cycle accounting."""
+        output, perf, l2_peak = self._execute(model, feeds, batch=None)
+        return ExecutionResult(output=output, perf=perf,
+                               l2_peak_bytes=l2_peak)
+
+    def run_batch(self, model: CompiledModel,
+                  feeds: Dict[str, np.ndarray]) -> BatchExecutionResult:
+        """Execute a batch of N samples (feeds carry a leading batch dim).
+
+        Sample ``i`` of the result is byte-identical to ``run`` on
+        sample ``i`` alone. In fast mode the batch is evaluated in one
+        vectorized pass; tiled mode loops sample by sample (every tile
+        of every sample is executed).
+        """
+        batch = self._batch_size(model, feeds)
+        if self.exec_mode == "fast":
+            outputs, perf, l2_peak = self._execute(model, feeds, batch=batch)
+            return BatchExecutionResult(outputs=outputs, perf=perf,
+                                        batch=batch, l2_peak_bytes=l2_peak)
+        outputs = []
+        first: Optional[ExecutionResult] = None
+        for i in range(batch):
+            sample = {name: np.asarray(arr)[i:i + 1]
+                      for name, arr in feeds.items()}
+            res = self.run(model, sample)
+            outputs.append(res.output)
+            if first is None:
+                first = res
+        return BatchExecutionResult(
+            outputs=np.concatenate(outputs, axis=0), perf=first.perf,
+            batch=batch, l2_peak_bytes=first.l2_peak_bytes)
+
+    # -- main loop -----------------------------------------------------------
+
+    def _execute(self, model: CompiledModel, feeds: Dict[str, np.ndarray],
+                 batch: Optional[int]):
         perf = PerfCounters()
         values: Dict[str, np.ndarray] = {}
         l2 = self.soc.fresh_l2()
@@ -90,9 +253,11 @@ class Executor:
                 raise SimulationError(f"missing input {name!r}")
             buf = model.buffers[name]
             arr = np.asarray(feeds[name], dtype=buf.ttype.dtype.to_numpy())
-            if arr.shape != buf.ttype.shape:
+            expected = (tuple(buf.ttype.shape) if batch is None
+                        else (batch,) + tuple(buf.ttype.shape)[1:])
+            if arr.shape != expected:
                 raise SimulationError(
-                    f"input {name!r}: expected {buf.ttype.shape}, "
+                    f"input {name!r}: expected {expected}, "
                     f"got {arr.shape}")
             values[name] = arr
             self._place(l2, model, name, arena_base)
@@ -112,16 +277,41 @@ class Executor:
                 if last_use.get(name) == idx and name != model.output_name:
                     l2.free(name)
 
-        return ExecutionResult(
-            output=values[model.output_name], perf=perf, l2_peak_bytes=l2_peak)
+        return values[model.output_name], perf, l2_peak
 
     # -- helpers -----------------------------------------------------------------
 
+    def _batch_size(self, model: CompiledModel,
+                    feeds: Dict[str, np.ndarray]) -> int:
+        batch = None
+        for name in model.input_names:
+            if name not in feeds:
+                raise SimulationError(f"missing input {name!r}")
+            arr = np.asarray(feeds[name])
+            shape = tuple(model.buffers[name].ttype.shape)
+            if arr.ndim != len(shape) or arr.shape[1:] != shape[1:]:
+                raise SimulationError(
+                    f"input {name!r}: expected (N,) + {shape[1:]}, "
+                    f"got {arr.shape}")
+            if batch is None:
+                batch = arr.shape[0]
+            elif arr.shape[0] != batch:
+                raise SimulationError(
+                    f"input {name!r}: inconsistent batch "
+                    f"({arr.shape[0]} vs {batch})")
+        if not batch:
+            raise SimulationError("empty batch")
+        return batch
+
     def _last_use(self, model: CompiledModel) -> Dict[str, int]:
+        cached = getattr(model, "_last_use_cache", None)
+        if cached is not None:
+            return cached
         out: Dict[str, int] = {}
         for idx, step in enumerate(model.steps):
             for name in step.input_names:
                 out[name] = idx
+        model._last_use_cache = out
         return out
 
     def _place(self, l2, model: CompiledModel, name: str, base: int):
@@ -132,76 +322,52 @@ class Executor:
 
     def _run_cpu(self, step: CpuKernelStep, args, perf: PerfCounters):
         body = step.body
-        rec = perf.start_kernel(step.name, "cpu", macs=body.total_macs())
-        rec.add("cpu_compute", self.soc.cpu.kernel_cycles(body))
+        # the CPU cost model is analytic in the body graph: compute the
+        # MAC count and kernel cycles once per step, replay afterwards
+        # (strong-ref identity check, same rationale as _accel_cost)
+        cpu = self.soc.cpu
+        cached = getattr(step, "_cost_cache", None)
+        if cached is None or cached[0] is not cpu:
+            cached = (cpu, body.total_macs(), cpu.kernel_cycles(body))
+            step._cost_cache = cached
+        _, macs, cpu_cycles = cached
+        rec = perf.start_kernel(step.name, "cpu", macs=macs)
+        rec.add("cpu_compute", cpu_cycles)
         rec.add("runtime", self.soc.params.runtime_call_overhead)
-        feeds = {p.name: a for p, a in zip(body.inputs, args)}
-        return run_reference(body, feeds)
+        return compile_plan(body).run_args(*args)
 
-    # -- tiled accelerator execution ------------------------------------------------
+    # -- accelerator execution ------------------------------------------------
+
+    def _accel_cost(self, step: AccelStep, rec):
+        """Charge the (static) cycle cost of one accelerator step.
+
+        The cost model is analytic in (spec, tiling, accelerator,
+        params) — it never looks at activation values — so the per-tile
+        accounting loop runs once per step and is replayed on later
+        inferences by copying the identical float values.
+        """
+        accel = self.soc.accelerator(step.accel_target)
+        params = self.soc.params
+        cached = getattr(step, "_cost_cache", None)
+        # identity check against strong refs: a model re-run on a
+        # different SoC / params recomputes instead of replaying
+        if cached is None or cached[0] is not accel or cached[1] is not params:
+            accumulate_accel_cost(rec, accel, step.spec, step.tiling, params)
+            step._cost_cache = (accel, params, dict(rec.cycles),
+                                rec.num_tiles)
+            return
+        _, _, cycles, num_tiles = cached
+        rec.cycles.update(cycles)
+        rec.num_tiles = num_tiles
 
     def _run_accel(self, step: AccelStep, args, perf: PerfCounters):
         spec, sol = step.spec, step.tiling
         accel = self.soc.accelerator(step.accel_target)
         rec = perf.start_kernel(step.name, step.accel_target, macs=spec.macs())
-        accumulate_accel_cost(rec, accel, spec, sol, self.soc.params)
+        self._accel_cost(step, rec)
 
         x = args[0]
         y = args[1] if spec.kind == "add" else None
-        x_chw = _as_chw(x)
-        y_chw = _as_chw(y) if y is not None else None
-
-        out = self._alloc_output(spec, step)
-        out_chw = _as_chw(out)
-        pending: Dict[tuple, np.ndarray] = {}  # int32 partial sums in L1
-        for tile in sol.tiles():
-            self._compute_tile(accel, spec, tile, x_chw, y_chw, out_chw,
-                               pending)
-        if pending:
-            raise SimulationError(
-                f"{step.name}: {len(pending)} unfinished partial sums")
-        return out
-
-    def _alloc_output(self, spec: LayerSpec, step: AccelStep) -> np.ndarray:
-        if spec.kind == "dense":
-            return np.zeros((1, spec.out_channels), dtype=np.int8)
-        return np.zeros((1, spec.out_channels, spec.oy, spec.ox),
-                        dtype=np.int8)
-
-    def _compute_tile(self, accel, spec: LayerSpec, tile: Tile,
-                      x_chw: np.ndarray, y_chw: Optional[np.ndarray],
-                      out_chw: np.ndarray, pending: Dict[tuple, np.ndarray]):
-        bias = spec.bias[tile.k0:tile.k1] if spec.bias is not None else None
-        if spec.kind == "dense":
-            w = spec.weight[tile.k0:tile.k1]
-            res = accel.execute(spec, x_chw[:, 0, 0][None, ...], w, bias)
-            out_chw[tile.k0:tile.k1, 0, 0] = res[0]
-            return
-        if spec.kind == "add":
-            xa = x_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
-                       tile.ox0:tile.ox1][None, ...]
-            yb = y_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
-                       tile.ox0:tile.ox1][None, ...]
-            res = accel.execute(spec, xa, None, bias, y=yb)
-            out_chw[tile.c0:tile.c1, tile.oy0:tile.oy1,
-                    tile.ox0:tile.ox1] = res[0]
-            return
-        xin = _tile_input(x_chw, spec, tile)
-        if spec.is_depthwise:
-            w = spec.weight[tile.k0:tile.k1]
-            res = accel.execute(spec, xin, w, bias, padding=(0, 0))
-            out_chw[tile.k0:tile.k1, tile.oy0:tile.oy1,
-                    tile.ox0:tile.ox1] = res[0]
-            return
-        # conv2d: accumulate int32 partial sums across C blocks, then
-        # requantize once — exactly what the generated tile loop does.
-        w = spec.weight[tile.k0:tile.k1, tile.c0:tile.c1]
-        acc = accel.accumulate(spec, xin, w, padding=(0, 0))
-        key = (tile.k0, tile.oy0, tile.ox0)
-        if key in pending:
-            acc = pending.pop(key) + acc
-        if not tile.last_reduction:
-            pending[key] = acc
-            return
-        res = accel.finalize(spec, acc, bias)
-        out_chw[tile.k0:tile.k1, tile.oy0:tile.oy1, tile.ox0:tile.ox1] = res[0]
+        if self.exec_mode == "fast":
+            return execute_layer_fast(accel, spec, x, y)
+        return execute_layer_tiled(accel, spec, sol, x, y)

@@ -1,97 +1,307 @@
 """Bit-exact reference interpreter for IR graphs.
 
-This is the golden model: it walks the graph in topological order and
-evaluates every operator with the shared numpy kernels in
-:mod:`repro.runtime.numerics`. Compiled programs (CPU-fused, tiled
-digital, tiled analog) must produce byte-identical outputs.
+This is the golden model: every operator is evaluated with the shared
+numpy kernels in :mod:`repro.numerics`. Compiled programs (CPU-fused,
+tiled digital, tiled analog) must produce byte-identical outputs.
+
+Rather than re-walking the graph and re-dispatching ops per inference,
+the interpreter *lowers* a :class:`~repro.ir.graph.Graph` once into a
+:class:`CompiledPlan` — a flat instruction list over dense value slots
+with pre-resolved attributes, pre-bound constant scalars (e.g. the
+``right_shift`` amount) and prefetched constant tensors. The plan is
+cached on the graph instance, so repeated inferences (sweeps, batched
+throughput runs, the executor's fused CPU kernels) skip traversal and
+dispatch entirely.
+
+All kernels are batch-covariant, so a plan compiled from a batch-1
+graph also evaluates batched (N > 1) feeds; see
+:func:`run_reference_batched`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import SimulationError
-from ..ir import Call, Composite, Constant, Graph, Node, Var
+from ..ir import Call, Composite, Constant, Graph, Var
 from .. import numerics as K
 
 
-def _eval_call(node: Call, args) -> np.ndarray:
-    op = node.op
+def _scalar_int(arr) -> int:
+    return int(np.asarray(arr).reshape(-1)[0])
+
+
+# -- per-op lowering -----------------------------------------------------------
+#
+# Each entry turns one Call node into a closure over its pre-resolved
+# attributes; the closure takes the runtime input arrays positionally.
+
+def _c_conv2d(node: Call) -> Callable:
+    strides = node.attrs["strides"]
+    padding = node.attrs["padding"]
+    groups = node.attrs["groups"]
+    return lambda x, w: K.conv2d(x, w, strides, padding, groups)
+
+
+def _c_dense(node: Call) -> Callable:
+    return K.dense
+
+
+def _c_bias_add(node: Call) -> Callable:
+    axis = node.attrs["axis"]
+    return lambda x, b: K.bias_add(x, b, axis)
+
+
+def _c_right_shift(node: Call) -> Callable:
+    rounding = node.attrs["rounding"]
+    return lambda x, s: K.right_shift(x, _scalar_int(s), rounding)
+
+
+def _c_clip(node: Call) -> Callable:
+    a_min, a_max = node.attrs["a_min"], node.attrs["a_max"]
+    return lambda x: K.clip(x, a_min, a_max)
+
+
+def _c_cast(node: Call) -> Callable:
+    np_dtype = node.dtype.to_numpy()
+    return lambda x: K.cast(x, np_dtype)
+
+
+def _c_relu(node: Call) -> Callable:
+    return K.relu
+
+
+def _c_add(node: Call) -> Callable:
+    out_dt = None
+    if node.attrs.get("out_dtype") is not None:
+        out_dt = node.dtype.to_numpy()
+    return lambda x, y: K.add(x, y, out_dt)
+
+
+def _c_avg_pool2d(node: Call) -> Callable:
     a = node.attrs
-    if op == "nn.conv2d":
-        return K.conv2d(args[0], args[1], a["strides"], a["padding"], a["groups"])
-    if op == "nn.dense":
-        return K.dense(args[0], args[1])
-    if op == "nn.bias_add":
-        return K.bias_add(args[0], args[1], a["axis"])
-    if op == "right_shift":
-        return K.right_shift(args[0], int(args[1].reshape(-1)[0]), a["rounding"])
-    if op == "clip":
-        return K.clip(args[0], a["a_min"], a["a_max"])
-    if op == "cast":
-        return K.cast(args[0], node.dtype.to_numpy())
-    if op == "nn.relu":
-        return K.relu(args[0])
-    if op == "add":
-        out_dt = None
-        if a.get("out_dtype") is not None:
-            out_dt = node.dtype.to_numpy()
-        return K.add(args[0], args[1], out_dt)
-    if op == "nn.avg_pool2d":
-        return K.avg_pool2d(args[0], a["pool_size"], a["strides"], a["padding"])
-    if op == "nn.max_pool2d":
-        return K.max_pool2d(args[0], a["pool_size"], a["strides"], a["padding"])
-    if op == "nn.global_avg_pool2d":
-        return K.global_avg_pool2d(args[0])
-    if op == "nn.softmax":
-        return K.softmax(args[0], a["axis"])
-    if op == "reshape":
-        return args[0].reshape(node.shape)
-    if op == "nn.batch_flatten":
-        return args[0].reshape(node.shape)
-    if op == "nn.pad":
-        return np.pad(args[0], a["pad_width"], constant_values=a["pad_value"])
-    if op == "concatenate":
-        return K.concatenate(args[0], args[1], a["axis"])
-    if op == "nn.sigmoid_lut":
-        return K.sigmoid_lut(args[0], a["scale_bits"])
-    if op == "nn.tanh_lut":
-        return K.tanh_lut(args[0], a["scale_bits"])
-    raise SimulationError(f"reference executor: unhandled op {op}")
+    pool, strides, padding = a["pool_size"], a["strides"], a["padding"]
+    return lambda x: K.avg_pool2d(x, pool, strides, padding)
+
+
+def _c_max_pool2d(node: Call) -> Callable:
+    a = node.attrs
+    pool, strides, padding = a["pool_size"], a["strides"], a["padding"]
+    return lambda x: K.max_pool2d(x, pool, strides, padding)
+
+
+def _c_global_avg_pool2d(node: Call) -> Callable:
+    return K.global_avg_pool2d
+
+
+def _c_softmax(node: Call) -> Callable:
+    axis = node.attrs["axis"]
+    return lambda x: K.softmax(x, axis)
+
+
+def _c_reshape(node: Call) -> Callable:
+    shape = tuple(node.shape)
+    tail = shape[1:]
+
+    def fn(x):
+        if x.shape[0] == shape[0]:
+            return x.reshape(shape)
+        # batched feed: the leading dim is N, not the graph's static 1
+        return x.reshape((x.shape[0],) + tail)
+
+    return fn
+
+
+def _c_pad(node: Call) -> Callable:
+    pad_width, pad_value = node.attrs["pad_width"], node.attrs["pad_value"]
+    return lambda x: np.pad(x, pad_width, constant_values=pad_value)
+
+
+def _c_concatenate(node: Call) -> Callable:
+    axis = node.attrs["axis"]
+    return lambda x, y: K.concatenate(x, y, axis)
+
+
+def _c_sigmoid_lut(node: Call) -> Callable:
+    scale_bits = node.attrs["scale_bits"]
+    return lambda x: K.sigmoid_lut(x, scale_bits)
+
+
+def _c_tanh_lut(node: Call) -> Callable:
+    scale_bits = node.attrs["scale_bits"]
+    return lambda x: K.tanh_lut(x, scale_bits)
+
+
+#: op name -> closure compiler (dict dispatch replaces the old if-chain).
+_OP_COMPILERS: Dict[str, Callable[[Call], Callable]] = {
+    "nn.conv2d": _c_conv2d,
+    "nn.dense": _c_dense,
+    "nn.bias_add": _c_bias_add,
+    "right_shift": _c_right_shift,
+    "clip": _c_clip,
+    "cast": _c_cast,
+    "nn.relu": _c_relu,
+    "add": _c_add,
+    "nn.avg_pool2d": _c_avg_pool2d,
+    "nn.max_pool2d": _c_max_pool2d,
+    "nn.global_avg_pool2d": _c_global_avg_pool2d,
+    "nn.softmax": _c_softmax,
+    "reshape": _c_reshape,
+    "nn.batch_flatten": _c_reshape,
+    "nn.pad": _c_pad,
+    "concatenate": _c_concatenate,
+    "nn.sigmoid_lut": _c_sigmoid_lut,
+    "nn.tanh_lut": _c_tanh_lut,
+}
+
+
+def _compile_call(node: Call) -> Callable:
+    try:
+        compiler = _OP_COMPILERS[node.op]
+    except KeyError:
+        raise SimulationError(f"reference executor: unhandled op {node.op}")
+    return compiler(node)
+
+
+def _eval_call(node: Call, args) -> np.ndarray:
+    """Evaluate one call node (compile-and-run; used by constant folding)."""
+    return _compile_call(node)(*args)
+
+
+# -- plan compiler ----------------------------------------------------------------
+
+
+class CompiledPlan:
+    """A :class:`Graph` lowered to a flat instruction list.
+
+    Instructions are ``(kernel, arg_slots, out_slot)`` triples over a
+    dense value-slot array. Constants are prefetched into the slot
+    template once at compile time, and constant scalars consumed by
+    ``right_shift`` are folded straight into the kernel closure.
+    """
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        slot_of: Dict[int, int] = {}
+        template: List[Optional[np.ndarray]] = []
+
+        def new_slot(node) -> int:
+            slot = len(template)
+            slot_of[node.node_id] = slot
+            template.append(None)
+            return slot
+
+        #: (name, slot, static shape, numpy dtype) per graph input, in
+        #: *declared* order — run_args binds positionally against this,
+        #: and every declared input is required even if unused.
+        self.input_slots: List[Tuple[str, int, tuple, np.dtype]] = []
+        for var in graph.inputs:
+            slot = new_slot(var)
+            self.input_slots.append(
+                (var.name, slot, tuple(var.shape), var.dtype.to_numpy()))
+        instrs: List[Tuple[Callable, Tuple[int, ...], int]] = []
+        for node in graph.topo_order():
+            if isinstance(node, Var):
+                continue  # pre-slotted above (graph.validate forbids free vars)
+            elif isinstance(node, Constant):
+                template[new_slot(node)] = node.value.data
+            elif isinstance(node, Call):
+                fn, arg_nodes = self._lower_call(node)
+                arg_slots = tuple(slot_of[a.node_id] for a in arg_nodes)
+                instrs.append((fn, arg_slots, new_slot(node)))
+            elif isinstance(node, Composite):
+                sub = compile_plan(node.body)
+                arg_slots = tuple(slot_of[a.node_id] for a in node.inputs)
+                instrs.append((sub.run_args, arg_slots, new_slot(node)))
+            else:
+                raise SimulationError(f"unhandled node {node!r}")
+        self.instrs = instrs
+        self.template = template
+        self.output_slot = slot_of[graph.output.node_id]
+
+    @staticmethod
+    def _lower_call(node: Call) -> Tuple[Callable, list]:
+        if node.op == "right_shift" and isinstance(node.inputs[1], Constant):
+            # hot path (one requant per layer): resolve the scalar shift
+            # once here instead of args[1].reshape(-1)[0] per inference
+            shift = _scalar_int(node.inputs[1].value.data)
+            rounding = node.attrs["rounding"]
+            return (lambda x: K.right_shift(x, shift, rounding),
+                    [node.inputs[0]])
+        return _compile_call(node), list(node.inputs)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, feeds: Dict[str, np.ndarray],
+            batch: bool = False) -> np.ndarray:
+        """Evaluate the plan on named input arrays.
+
+        With ``batch=True`` each feed may carry a leading batch dim N in
+        place of the graph's static 1 (all kernels are batch-covariant).
+        """
+        values = list(self.template)
+        for name, slot, shape, np_dtype in self.input_slots:
+            if name not in feeds:
+                raise SimulationError(f"missing input {name!r}")
+            arr = np.asarray(feeds[name], dtype=np_dtype)
+            ok = arr.shape == shape or (
+                batch and arr.ndim == len(shape) and arr.shape[1:] == shape[1:])
+            if not ok:
+                raise SimulationError(
+                    f"input {name!r}: expected shape {shape}, got {arr.shape}")
+            values[slot] = arr
+        return self._execute(values)
+
+    def run_args(self, *args) -> np.ndarray:
+        """Positional execution (composite bodies, fused CPU kernels).
+
+        Arguments map to the graph inputs in order; dtypes are coerced
+        but shapes are not checked, so batched operands pass through.
+        """
+        values = list(self.template)
+        for (name, slot, shape, np_dtype), arr in zip(self.input_slots, args):
+            values[slot] = np.asarray(arr, dtype=np_dtype)
+        return self._execute(values)
+
+    def _execute(self, values: list) -> np.ndarray:
+        for fn, arg_slots, out in self.instrs:
+            values[out] = fn(*(values[s] for s in arg_slots))
+        return values[self.output_slot]
+
+
+def compile_plan(graph: Graph) -> CompiledPlan:
+    """Lower ``graph`` to a :class:`CompiledPlan`, memoized per instance.
+
+    Graphs are rebuilt (never mutated) by every transform, so caching on
+    the object is safe: a rewritten graph is a new instance with a fresh
+    plan.
+    """
+    plan = getattr(graph, "_compiled_plan", None)
+    if plan is None:
+        plan = CompiledPlan(graph)
+        graph._compiled_plan = plan
+    return plan
+
+
+# -- public entry points ------------------------------------------------------------
 
 
 def run_reference(graph: Graph, feeds: Dict[str, np.ndarray]) -> np.ndarray:
     """Evaluate ``graph`` on named input arrays; returns the output array."""
-    values: Dict[int, np.ndarray] = {}
-    for var in graph.inputs:
-        if var.name not in feeds:
-            raise SimulationError(f"missing input {var.name!r}")
-        arr = np.asarray(feeds[var.name], dtype=var.dtype.to_numpy())
-        if arr.shape != var.shape:
-            raise SimulationError(
-                f"input {var.name!r}: expected shape {var.shape}, got {arr.shape}"
-            )
-        values[var.node_id] = arr
+    return compile_plan(graph).run(feeds)
 
-    for node in graph.topo_order():
-        if isinstance(node, Var):
-            continue
-        if isinstance(node, Constant):
-            values[node.node_id] = node.value.data
-        elif isinstance(node, Call):
-            args = [values[i.node_id] for i in node.inputs]
-            values[node.node_id] = _eval_call(node, args)
-        elif isinstance(node, Composite):
-            args = [values[i.node_id] for i in node.inputs]
-            sub_feeds = {
-                p.name: a for p, a in zip(node.body.inputs, args)
-            }
-            values[node.node_id] = run_reference(node.body, sub_feeds)
-        else:
-            raise SimulationError(f"unhandled node {node!r}")
-    return values[graph.output.node_id]
+
+def run_reference_batched(graph: Graph,
+                          feeds: Dict[str, np.ndarray]) -> np.ndarray:
+    """Evaluate a batch of samples in one pass.
+
+    Feeds carry a leading batch dim N in place of the graph's static 1;
+    the result equals stacking N :func:`run_reference` calls sample by
+    sample (bit-exact — the integer kernels are batch-covariant).
+    """
+    return compile_plan(graph).run(feeds, batch=True)
 
 
 def random_inputs(graph: Graph, seed: int = 0) -> Dict[str, np.ndarray]:
@@ -107,3 +317,17 @@ def random_inputs(graph: Graph, seed: int = 0) -> Dict[str, np.ndarray]:
                 dt.min_value, dt.max_value + 1, size=var.shape
             ).astype(dt.to_numpy())
     return feeds
+
+
+def random_inputs_batched(graph: Graph, batch: int,
+                          seed: int = 0) -> Dict[str, np.ndarray]:
+    """Batched random feeds; sample ``i`` equals ``random_inputs(seed+i)``.
+
+    The per-sample layout makes batched runs directly comparable to a
+    per-sample loop in tests and benchmarks.
+    """
+    samples = [random_inputs(graph, seed=seed + i) for i in range(batch)]
+    return {
+        var.name: np.concatenate([s[var.name] for s in samples], axis=0)
+        for var in graph.inputs
+    }

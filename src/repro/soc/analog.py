@@ -156,10 +156,8 @@ class AnalogAccelerator:
     def finalize(self, spec: LayerSpec, acc: np.ndarray,
                  bias: Optional[np.ndarray]) -> np.ndarray:
         """Bias-add + requantization of a completed accumulator tile."""
-        if bias is not None:
-            acc = K.bias_add(acc, bias, axis=1)
         lo, hi = (-64, 63) if spec.out_dtype == "int7" else (-128, 127)
-        return K.requantize(acc, spec.shift, spec.relu, lo, hi)
+        return K.bias_requantize(acc, bias, spec.shift, spec.relu, lo, hi)
 
     def execute_noisy(self, spec: LayerSpec, x: np.ndarray,
                       w: Optional[np.ndarray], bias: Optional[np.ndarray],

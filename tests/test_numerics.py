@@ -174,3 +174,90 @@ class TestPad:
         out = K.pad_nchw(x, (1, 1), value=7)
         assert out.shape == (1, 1, 4, 4)
         assert out[0, 0, 0, 0] == 7
+
+
+class TestPoolingProperty:
+    """Sliding-window pooling vs. straightforward per-tap loop oracles."""
+
+    @staticmethod
+    def _naive_avg(x, pool, strides, padding):
+        fh, fw = pool
+        sh, sw = strides
+        xp = K.pad_nchw(x.astype(np.int32), padding)
+        oh = (xp.shape[2] - fh) // sh + 1
+        ow = (xp.shape[3] - fw) // sw + 1
+        acc = np.zeros((x.shape[0], x.shape[1], oh, ow), dtype=np.int32)
+        for dy in range(fh):
+            for dx in range(fw):
+                acc += xp[:, :, dy:dy + sh * oh:sh, dx:dx + sw * ow:sw]
+        count = fh * fw
+        return np.floor_divide(acc + count // 2, count).astype(x.dtype)
+
+    @staticmethod
+    def _naive_max(x, pool, strides, padding):
+        fh, fw = pool
+        sh, sw = strides
+        lo = np.iinfo(x.dtype).min
+        xp = K.pad_nchw(x, padding, value=lo)
+        oh = (xp.shape[2] - fh) // sh + 1
+        ow = (xp.shape[3] - fw) // sw + 1
+        out = np.full((x.shape[0], x.shape[1], oh, ow), lo, dtype=x.dtype)
+        for dy in range(fh):
+            for dx in range(fw):
+                np.maximum(out, xp[:, :, dy:dy + sh * oh:sh,
+                                   dx:dx + sw * ow:sw], out=out)
+        return out
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4), st.integers(4, 9), st.integers(2, 3),
+           st.integers(1, 2), st.integers(0, 1), st.integers(0, 2 ** 31 - 1))
+    def test_pools_match_naive(self, c, hw, f, s, p, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(-128, 128, (2, c, hw, hw), dtype=np.int64)
+        x = x.astype(np.int8)
+        np.testing.assert_array_equal(
+            K.avg_pool2d(x, (f, f), (s, s), (p, p)),
+            self._naive_avg(x, (f, f), (s, s), (p, p)))
+        np.testing.assert_array_equal(
+            K.max_pool2d(x, (f, f), (s, s), (p, p)),
+            self._naive_max(x, (f, f), (s, s), (p, p)))
+
+
+class TestAsymmetricPad:
+    def test_pad_nchw_asymmetric(self):
+        x = np.arange(4, dtype=np.int8).reshape(1, 1, 2, 2)
+        out = K.pad_nchw(x, ((1, 0), (0, 2)), value=9)
+        assert out.shape == (1, 1, 3, 4)
+        np.testing.assert_array_equal(out[0, 0, 0], [9, 9, 9, 9])
+        np.testing.assert_array_equal(out[0, 0, 1], [0, 1, 9, 9])
+
+    def test_asymmetric_matches_np_pad(self):
+        x = np.arange(12, dtype=np.int8).reshape(1, 2, 2, 3)
+        want = np.pad(x, ((0, 0), (0, 0), (2, 1), (1, 0)),
+                      constant_values=5)
+        np.testing.assert_array_equal(
+            K.pad_nchw(x, ((2, 1), (1, 0)), value=5), want)
+
+    def test_symmetric_form_unchanged(self):
+        x = np.ones((1, 1, 2, 2), np.int8)
+        np.testing.assert_array_equal(
+            K.pad_nchw(x, (1, 2)), K.pad_nchw(x, ((1, 1), (2, 2))))
+
+
+class TestBiasRequantize:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 12), st.booleans(), st.booleans(),
+           st.integers(0, 2 ** 31 - 1))
+    def test_matches_unfused_sequence(self, shift, relu, with_bias, seed):
+        rng = np.random.default_rng(seed)
+        acc = rng.integers(-(1 << 20), 1 << 20, (1, 5, 4, 4),
+                           dtype=np.int64).astype(np.int32)
+        bias = (rng.integers(-(1 << 10), 1 << 10, 5,
+                             dtype=np.int64).astype(np.int32)
+                if with_bias else None)
+        want = K.bias_add(acc, bias) if bias is not None else acc
+        want = K.clip(K.right_shift(want, shift), -128, 127).astype(np.int8)
+        if relu:
+            want = np.maximum(want, 0)
+        got = K.bias_requantize(acc, bias, shift, relu)
+        np.testing.assert_array_equal(got, want)
