@@ -1,0 +1,187 @@
+"""Mapping-engine benchmark + rules-drift smoke check.
+
+Times the cost-driven ``"dp"`` search cold (fresh
+:class:`~repro.core.cache.TilingCache`, every candidate solves its
+tiling) vs. cache-warm (all candidate tilings memoized) per MLPerf
+Tiny model, and records the numbers to ``BENCH_mapping.json`` at the
+repo root together with the ``"rules"`` baseline fingerprint: the
+per-model rule-based target assignment and its modeled total cycles.
+
+``--check`` recomputes the fingerprint and fails if it drifts from the
+committed file — the CI mapping-smoke gate that protects the seed
+mapping policy (and its cost model) against accidental changes.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from bench_timing import best_of
+from repro.core.cache import TilingCache
+from repro.eval.harness import CONFIGS
+from repro.frontend.modelzoo import MLPERF_TINY
+from repro.mapping import analyze_mapping, make_objective, prepare_graph
+from repro.soc import DianaSoC
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_mapping.json"
+REPS = 3
+CONFIG = "mixed"
+
+
+class DriftError(AssertionError):
+    """The rules mapping (or its modeled cycles) changed."""
+
+
+def _prepared(model: str, config: str = CONFIG):
+    precision, soc_kwargs, cfg = CONFIGS[config]
+    graph = prepare_graph(MLPERF_TINY[model](precision=precision))
+    return graph, DianaSoC(**soc_kwargs), cfg
+
+
+def rules_fingerprint() -> dict:
+    """Per-model rules assignment + modeled cycles (the drift baseline).
+
+    Covers the whole zoo on the mixed platform plus resnet on every
+    Table I configuration.
+    """
+    out = {}
+    cells = [(m, CONFIG) for m in sorted(MLPERF_TINY)]
+    cells += [("resnet", c) for c in CONFIGS if c != CONFIG]
+    for model, config in cells:
+        graph, soc, cfg = _prepared(model, config)
+        plan = analyze_mapping(graph, soc, cfg, cache=TilingCache(),
+                               strategy="rules",
+                               objective=make_objective("latency"))
+        out[f"{model}/{config}"] = {
+            "targets": list(plan.assignment),
+            "modeled_cycles": plan.total_cycles,
+        }
+    return out
+
+
+#: Eq. 2 budget for the timing runs — a tight L1 forces a real DORY
+#: search per candidate (the default 256 kB solves most layers on the
+#: fast path), matching bench_compile_cache's scenario.
+L1_BUDGET = 16 * 1024
+
+
+def run_bench(reps: int = REPS, write: bool = True) -> dict:
+    models = {}
+    for model in sorted(MLPERF_TINY):
+        graph, soc, cfg = _prepared(model)
+        cfg = cfg.with_overrides(l1_budget=L1_BUDGET)
+
+        def cold():
+            analyze_mapping(graph, soc, cfg, cache=TilingCache(),
+                            strategy="dp")
+
+        warm_cache = TilingCache()
+        plan = analyze_mapping(graph, soc, cfg, cache=warm_cache,
+                               strategy="dp")
+
+        def warm():
+            analyze_mapping(graph, soc, cfg, cache=warm_cache,
+                            strategy="dp")
+
+        cold_s = best_of(cold, reps)
+        warm_cache.reset_counters()
+        warm_s = best_of(warm, reps)
+        stats = warm_cache.stats()
+        assert stats["misses"] == 0, f"{model}: warm search re-solved tilings"
+        models[model] = {
+            "sites": len(plan.sites),
+            "dp_cold_s": cold_s,
+            "dp_warm_s": warm_s,
+            "speedup": cold_s / max(warm_s, 1e-12),
+            "dp_cycles": plan.total_cycles,
+            "rules_cycles": plan.baseline_cycles,
+            "dp_vs_rules": plan.total_cycles / max(plan.baseline_cycles, 1e-12),
+        }
+        assert plan.total_cycles <= plan.baseline_cycles, (
+            f"{model}: dp mapping worse than rules")
+
+    record = {
+        "config": CONFIG,
+        "l1_budget": L1_BUDGET,
+        "reps": reps,
+        "models": models,
+        "rules_baseline": rules_fingerprint(),
+    }
+    if write:
+        OUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def check_drift(path: pathlib.Path = OUT) -> None:
+    """Fail if the current rules mapping diverges from the committed one."""
+    committed = json.loads(path.read_text())["rules_baseline"]
+    current = rules_fingerprint()
+    for cell, base in committed.items():
+        got = current.get(cell)
+        if got is None:
+            raise DriftError(f"{cell}: missing from current fingerprint")
+        if got["targets"] != base["targets"]:
+            raise DriftError(
+                f"{cell}: rules targets drifted\n"
+                f"  committed: {base['targets']}\n"
+                f"  current  : {got['targets']}")
+        if abs(got["modeled_cycles"] - base["modeled_cycles"]) > 0.5:
+            raise DriftError(
+                f"{cell}: modeled cycles drifted "
+                f"({base['modeled_cycles']} -> {got['modeled_cycles']})")
+
+
+def _format(record: dict) -> str:
+    lines = [f"mapping engine bench ({record['config']}, "
+             f"{record['l1_budget'] // 1024} kB L1 budget, best of "
+             f"{record['reps']}):"]
+    for model, r in record["models"].items():
+        lines.append(
+            f"  {model:<10} {r['sites']:3d} sites   "
+            f"dp cold {r['dp_cold_s'] * 1e3:8.3f} ms   "
+            f"warm {r['dp_warm_s'] * 1e3:8.3f} ms ({r['speedup']:.1f}x)   "
+            f"dp/rules modeled latency {r['dp_vs_rules']:.3f}")
+    return "\n".join(lines)
+
+
+def test_mapping_search_and_drift(report, benchmark):
+    """Drift gate + timing on one model (full zoo: CI / standalone)."""
+    check_drift()
+    graph, soc, cfg = _prepared("resnet")
+    cache = TilingCache()
+    analyze_mapping(graph, soc, cfg, cache=cache, strategy="dp")  # warm it
+    benchmark(lambda: analyze_mapping(graph, soc, cfg, cache=cache,
+                                      strategy="dp"))
+    record = run_bench(reps=1, write=False)
+    report(_format(record))
+
+
+def main(argv=None) -> int:
+    global OUT
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--check", action="store_true",
+                        help="only verify the rules baseline has not "
+                             "drifted from the committed BENCH_mapping.json")
+    parser.add_argument("--out", default=str(OUT))
+    args = parser.parse_args(argv)
+    OUT = pathlib.Path(args.out)
+    if args.check:
+        try:
+            check_drift(OUT)
+        except DriftError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(f"rules baseline matches {OUT.name}")
+        return 0
+    record = run_bench(reps=args.reps)
+    print(_format(record))
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

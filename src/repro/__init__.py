@@ -21,7 +21,7 @@ Quickstart::
 """
 
 from . import baselines, codegen, core, dispatch, dory, eval, extensions, frontend
-from . import ir, numerics, patterns, runtime, soc, transforms
+from . import ir, mapping, numerics, patterns, runtime, soc, transforms
 from .core import (
     CompilerConfig, CompiledModel, HTVM, HTVM_NAIVE_TILING, TVM_CPU,
     TilingCache, compile_model, get_default_cache, set_default_cache,
@@ -42,7 +42,7 @@ __version__ = "1.0.0"
 __all__ = [
     "baselines", "codegen", "core", "dispatch", "dory", "eval",
     "extensions", "frontend",
-    "ir", "numerics", "patterns", "runtime", "soc", "transforms",
+    "ir", "mapping", "numerics", "patterns", "runtime", "soc", "transforms",
     "CompilerConfig", "CompiledModel", "HTVM", "HTVM_NAIVE_TILING",
     "TVM_CPU", "TilingCache", "compile_model", "get_default_cache",
     "set_default_cache",

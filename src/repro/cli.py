@@ -5,10 +5,13 @@ Usage (also available as ``python -m repro.cli``)::
     python -m repro.cli models
     python -m repro.cli compile resnet --config digital --out-dir build/
     python -m repro.cli run dscnn --config mixed --timeline
+    python -m repro.cli map resnet --config mixed --mapping dp
+    python -m repro.cli map --pareto
     python -m repro.cli table1 --jobs 4
     python -m repro.cli table2
     python -m repro.cli fig4 --jobs 4
     python -m repro.cli fig5
+    python -m repro.cli sweep l1_bytes 262144 65536 16384 --mapping dp
 
 Model arguments accept either a zoo name (``resnet``, ``dscnn``,
 ``mobilenet``, ``toyadmos``) or a path to a JSON graph produced by
@@ -24,6 +27,12 @@ and ``--no-cache`` disables memoization. ``table1``/``fig4`` accept
 computes full layers at once — byte-identical outputs, identical cycle
 counts, much lower wall-clock. ``run --batch N`` simulates a batch of
 inferences through the batched runtime.
+
+``map`` prints the mapping decision table (per-layer candidates,
+costs, rejection reasons) for one model, or sweeps the latency/energy
+Pareto front across the zoo with ``--pareto`` (writes
+``MAPPING_DSE.json``). ``compile``/``run``/``table1``/``sweep`` accept
+``--mapping {rules,greedy,dp}`` to pick the target-selection strategy.
 """
 
 from __future__ import annotations
@@ -59,8 +68,10 @@ def _load_model(name: str, precision: str):
         f"and not a file")
 
 
-def _setup(config: str):
+def _setup(config: str, args=None):
     precision, soc_kwargs, cfg = CONFIGS[config]
+    if args is not None and getattr(args, "mapping", None):
+        cfg = cfg.with_overrides(mapping_strategy=args.mapping)
     return precision, DianaSoC(**soc_kwargs), cfg
 
 
@@ -91,7 +102,7 @@ def cmd_models(args) -> int:
 
 
 def cmd_compile(args) -> int:
-    precision, soc, cfg = _setup(args.config)
+    precision, soc, cfg = _setup(args.config, args)
     graph = _load_model(args.model, precision)
     try:
         model = compile_model(graph, soc, cfg)
@@ -115,7 +126,7 @@ def cmd_compile(args) -> int:
 
 
 def cmd_run(args) -> int:
-    precision, soc, cfg = _setup(args.config)
+    precision, soc, cfg = _setup(args.config, args)
     graph = _load_model(args.model, precision)
     try:
         model = compile_model(graph, soc, cfg)
@@ -159,8 +170,64 @@ def cmd_run(args) -> int:
     return 0 if exact else 1
 
 
+def cmd_map(args) -> int:
+    from .mapping import analyze_mapping, format_plan, make_objective, prepare_graph
+
+    if args.pareto:
+        from .eval.mapping_dse import (
+            artifact_record, format_mapping_dse, pareto_sweep,
+        )
+        points = pareto_sweep(models=args.models, config=args.config)
+        print(format_mapping_dse(points))
+        if args.out:
+            import json
+            record = artifact_record(points, config=args.config)
+            with open(args.out, "w") as f:
+                json.dump(record, f, indent=2)
+                f.write("\n")
+            print(f"wrote {args.out}")
+        _print_cache_stats()
+        return 0
+
+    if not args.model:
+        print("error: map needs a MODEL (or --pareto)", file=sys.stderr)
+        return 2
+    precision, soc, cfg = _setup(args.config, args)
+    graph = _load_model(args.model, precision)
+    plan = analyze_mapping(
+        prepare_graph(graph), soc, cfg,
+        objective=make_objective(args.objective, args.weight))
+    print(format_plan(plan))
+    _print_cache_stats()
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .eval.sweep import format_sweep, sweep_param
+
+    points = sweep_param(args.param, args.values,
+                         model=args.model, config=args.config,
+                         jobs=args.jobs, mapping=args.mapping)
+    print(format_sweep(points))
+    _print_cache_stats()
+    return 0
+
+
+def _number(text: str):
+    """argparse type for sweep values: int when possible, else float."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+
+
 def cmd_table1(args) -> int:
-    results = evaluation.run_table1(jobs=args.jobs, exec_mode=args.exec_mode)
+    results = evaluation.run_table1(jobs=args.jobs, exec_mode=args.exec_mode,
+                                    mapping=args.mapping)
     print(evaluation.format_table1(results))
     claims = evaluation.summarize_claims(results)
     for key, value in claims.items():
@@ -223,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "computes full layers with identical outputs "
                             "and cycle counts (default: %(default)s)")
 
+    def add_mapping_arg(p, default=None):
+        from .mapping import STRATEGIES
+        p.add_argument("--mapping", choices=list(STRATEGIES), default=default,
+                       help="target-selection strategy: 'rules' (weight-"
+                            "dtype policy), 'greedy' (cheapest candidate "
+                            "per layer) or 'dp' (global cost-driven "
+                            "search)")
+
     sub.add_parser("models", help="list the model zoo").set_defaults(
         fn=cmd_models)
 
@@ -232,7 +307,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out-dir", help="write generated C sources here")
     p.add_argument("--dot", help="write a Graphviz rendering here")
     add_cache_args(p)
+    add_mapping_arg(p)
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "map", help="print the mapping decision table / Pareto sweep")
+    p.add_argument("model", nargs="?",
+                   help="zoo model or graph JSON (omit with --pareto)")
+    p.add_argument("--config", choices=list(CONFIGS), default="mixed")
+    add_mapping_arg(p, default="dp")
+    p.add_argument("--objective", choices=["latency", "energy", "weighted"],
+                   default="latency",
+                   help="what cost-driven strategies minimize")
+    p.add_argument("--weight", type=float, default=0.5,
+                   help="latency/energy trade-off of --objective weighted "
+                        "(0 = latency, 1 = energy)")
+    p.add_argument("--pareto", action="store_true",
+                   help="sweep the weighted objective across the zoo and "
+                        "write the MAPPING_DSE.json artifact")
+    p.add_argument("--models", nargs="+", choices=sorted(MLPERF_TINY),
+                   help="restrict --pareto to these models")
+    p.add_argument("--out", default="MAPPING_DSE.json",
+                   help="artifact path for --pareto (default: %(default)s)")
+    add_cache_args(p)
+    p.set_defaults(fn=cmd_map)
+
+    p = sub.add_parser(
+        "sweep", help="sweep one platform parameter (recompile + simulate)")
+    p.add_argument("param", help="a DianaParams field, e.g. l1_bytes")
+    p.add_argument("values", nargs="+", type=_number,
+                   help="parameter values to sweep")
+    p.add_argument("--model", default="resnet")
+    p.add_argument("--config", choices=list(CONFIGS), default="digital")
+    p.add_argument("--jobs", type=int, default=1)
+    add_cache_args(p)
+    add_mapping_arg(p)
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("run", help="compile + simulate one inference")
     p.add_argument("model")
@@ -247,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the per-layer cycle/energy report")
     add_cache_args(p)
     add_exec_mode_arg(p)
+    add_mapping_arg(p)
     p.set_defaults(fn=cmd_run)
 
     for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
@@ -259,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
             add_cache_args(p)
         if name == "table1":
             add_exec_mode_arg(p)
+            add_mapping_arg(p)
         if name == "fig4":
             add_exec_mode_arg(p, default=None)
             p.add_argument("--verify", action="store_true",

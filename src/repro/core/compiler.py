@@ -5,7 +5,9 @@
 1. TVM-style front-end optimizations (canonicalize, constant folding,
    dead-code elimination),
 2. accelerator-aware pattern matching + BYOC partitioning,
-3. dispatching with per-accelerator rule checks,
+3. mapping: per-accelerator rule checks plus target selection —
+   rule-based or a cost-driven global search, selected by
+   ``config.mapping_strategy`` (see :mod:`repro.mapping`),
 4. native CPU fusion for everything unmatched,
 5. per-layer DORY tiling for the offloaded composites,
 6. L2 activation memory planning,
@@ -18,12 +20,9 @@ from typing import Dict, List, Optional
 
 from ..codegen.cpu import emit_cpu_kernel, kernel_signature
 from ..codegen.runtime_glue import emit_network
-from ..dispatch import assign_targets, layer_spec_of
+from ..mapping import layer_spec_of, plan_mapping
 from ..dory.codegen import emit_accel_layer
-from ..dory.heuristics import (
-    analog_heuristics, digital_heuristics, digital_pe_only_heuristics,
-    no_heuristics,
-)
+from ..dory.heuristics import heuristic_set_for
 from ..dory.memory_plan import lifetimes_from_steps, plan_memory
 from ..dory.tiler import DoryTiler
 from ..errors import CodegenError, OutOfMemoryError
@@ -38,18 +37,6 @@ from .artifact import compute_size
 from .cache import TilingCache, get_default_cache
 from .config import CompilerConfig, HTVM
 from .program import AccelStep, BufferSpec, CompiledModel, CpuKernelStep
-
-
-def _heuristic_set(kind: str, target: str):
-    if target == "soc.analog":
-        return analog_heuristics() if kind != "none" else no_heuristics()
-    if kind == "full":
-        return digital_heuristics()
-    if kind == "pe-only":
-        return digital_pe_only_heuristics()
-    if kind == "none":
-        return no_heuristics()
-    raise CodegenError(f"unknown heuristic set {kind!r}")
 
 
 def _frontend(graph: Graph, config: CompilerConfig) -> Graph:
@@ -82,7 +69,7 @@ def compile_model(graph: Graph, soc: DianaSoC,
     decisions = []
     if config.offload and soc.accelerators:
         graph = partition(graph, default_specs())
-        graph, decisions = assign_targets(graph, soc)
+        graph, decisions = plan_mapping(graph, soc, config, cache=cache)
     graph = fuse_cpu_ops(graph)
 
     # ---- steps over named buffers -----------------------------------------
@@ -124,7 +111,7 @@ def compile_model(graph: Graph, soc: DianaSoC,
                     f"{comp.target} but has no layer spec")
             tiler = DoryTiler(
                 comp.target, soc.params,
-                _heuristic_set(config.heuristics, comp.target),
+                heuristic_set_for(config.heuristics, comp.target),
                 alpha=config.alpha, l1_budget=config.l1_budget,
             )
             sol = (cache.solve(tiler, spec) if cache is not None

@@ -27,6 +27,18 @@ class CompilerConfig:
             process-wide :class:`~repro.core.cache.TilingCache` (the
             solver is deterministic per key, so this is safe; see
             docs/COSTMODEL.md). Disable to force a fresh search.
+        mapping_strategy: how composite targets are chosen —
+            ``"rules"`` (the weight-dtype policy, bit-exact with the
+            seed dispatcher), ``"greedy"`` (cheapest candidate per
+            layer) or ``"dp"`` (global cost-driven search with
+            inter-layer transfer penalties). See
+            :mod:`repro.mapping.engine`.
+        mapping_objective: what cost-driven strategies minimize —
+            ``"latency"``, ``"energy"`` or ``"weighted"``.
+        mapping_weight: latency/energy trade-off of the ``"weighted"``
+            objective (0 = pure latency, 1 = pure energy).
+        mapping_beam_width: beam width of the global search on
+            branching graphs (linear chains are solved exactly).
     """
 
     name: str = "htvm"
@@ -38,6 +50,10 @@ class CompilerConfig:
     runtime: str = "htvm"
     check_l2: bool = True
     tiling_cache: bool = True
+    mapping_strategy: str = "rules"
+    mapping_objective: str = "latency"
+    mapping_weight: float = 0.5
+    mapping_beam_width: int = 8
 
     def with_overrides(self, **kwargs) -> "CompilerConfig":
         return replace(self, **kwargs)

@@ -1,11 +1,28 @@
-"""Accelerator-aware dispatching (paper Sec. III-A)."""
+"""Backwards-compatible alias of :mod:`repro.mapping` (paper Sec. III-A).
 
-from .rules import (
+The dispatcher was promoted into the ``repro.mapping`` subsystem when
+target selection became a cost-driven global search; the historical
+import paths (``repro.dispatch``, ``repro.dispatch.rules``,
+``repro.dispatch.selector``) keep working and resolve to the very same
+modules, so monkeypatching either path patches both.
+"""
+
+import sys
+
+from ..mapping import rules, selector
+from ..mapping.rules import (
     DispatchDecision, dispatchable_layers, eligible_targets, layer_spec_of,
+    layer_spec_or_reason,
 )
-from .selector import assign_targets, dispatch_summary
+from ..mapping.selector import assign_targets, dispatch_summary
+
+# alias the submodules: `import repro.dispatch.rules` and
+# `import repro.mapping.rules` must be the *same* module object
+sys.modules[__name__ + ".rules"] = rules
+sys.modules[__name__ + ".selector"] = selector
 
 __all__ = [
     "DispatchDecision", "dispatchable_layers", "eligible_targets",
-    "layer_spec_of", "assign_targets", "dispatch_summary",
+    "layer_spec_of", "layer_spec_or_reason",
+    "assign_targets", "dispatch_summary", "rules", "selector",
 ]

@@ -121,3 +121,22 @@ def analog_heuristics(beta: float = 1.0) -> List[Heuristic]:
 def no_heuristics() -> List[Heuristic]:
     """The hardware-agnostic baseline ("only tile size", Fig. 4)."""
     return []
+
+
+def heuristic_set_for(kind: str, target: str) -> List[Heuristic]:
+    """The heuristic set one ``CompilerConfig.heuristics`` kind implies.
+
+    Shared by the compiler driver and the mapping engine so candidate
+    costing solves exactly the tiling a subsequent compile would (same
+    cache key, same solution).
+    """
+    if target == "soc.analog":
+        return analog_heuristics() if kind != "none" else no_heuristics()
+    if kind == "full":
+        return digital_heuristics()
+    if kind == "pe-only":
+        return digital_pe_only_heuristics()
+    if kind == "none":
+        return no_heuristics()
+    from ..errors import CodegenError
+    raise CodegenError(f"unknown heuristic set {kind!r}")

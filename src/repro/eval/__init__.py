@@ -1,6 +1,6 @@
 """Evaluation harness: Tables I-II and Figs. 4-5 of the paper."""
 
-from . import fig4, fig5, layer_report, paper, sota, sweep, timeline
+from . import fig4, fig5, layer_report, mapping_dse, paper, sota, sweep, timeline
 from .harness import (
     CONFIGS, DeploymentResult, deploy, format_table1, run_table1,
     summarize_claims,
@@ -8,7 +8,8 @@ from .harness import (
 from .tables import format_table
 
 __all__ = [
-    "fig4", "fig5", "layer_report", "paper", "sota", "sweep", "timeline",
+    "fig4", "fig5", "layer_report", "mapping_dse", "paper", "sota", "sweep",
+    "timeline",
     "CONFIGS", "DeploymentResult", "deploy", "format_table1", "run_table1",
     "summarize_claims", "format_table",
 ]

@@ -46,6 +46,7 @@ class DeploymentResult:
 
     model: str
     config: str
+    mapping: str = "rules"
     oom: bool = False
     latency_ms: Optional[float] = None
     peak_ms: Optional[float] = None
@@ -59,7 +60,8 @@ def deploy(model: str, config: str,
            params: Optional[DianaParams] = None,
            verify: bool = True,
            seed: int = 0,
-           exec_mode: str = "tiled") -> DeploymentResult:
+           exec_mode: str = "tiled",
+           mapping: Optional[str] = None) -> DeploymentResult:
     """Compile + simulate one MLPerf Tiny model in one configuration.
 
     ``exec_mode`` selects the simulator's functional path for
@@ -67,14 +69,21 @@ def deploy(model: str, config: str,
     and is the verification mode; ``"fast"`` computes full layers in
     one kernel call with byte-identical outputs and identical cycle
     counts (see :class:`~repro.runtime.Executor`).
+
+    ``mapping`` overrides the configuration's
+    ``CompilerConfig.mapping_strategy`` (``"rules"``, ``"greedy"`` or
+    ``"dp"``); ``None`` keeps the config's own strategy.
     """
     if model not in MLPERF_TINY:
         raise KeyError(f"unknown model {model!r}; have {sorted(MLPERF_TINY)}")
     precision, soc_kwargs, cfg = CONFIGS[config]
+    if mapping is not None:
+        cfg = cfg.with_overrides(mapping_strategy=mapping)
     graph = MLPERF_TINY[model](precision=precision, seed=seed)
     soc = DianaSoC(params=params, **soc_kwargs)
 
-    result = DeploymentResult(model=model, config=config)
+    result = DeploymentResult(model=model, config=config,
+                              mapping=cfg.mapping_strategy)
     try:
         compiled = compile_model(graph, soc, cfg)
     except OutOfMemoryError:
@@ -105,11 +114,14 @@ def run_table1(models: Optional[List[str]] = None,
                params: Optional[DianaParams] = None,
                verify: bool = True,
                jobs: Optional[int] = None,
-               exec_mode: str = "tiled") -> List[DeploymentResult]:
+               exec_mode: str = "tiled",
+               mapping: Optional[str] = None) -> List[DeploymentResult]:
     """All Table I cells (or a subset).
 
     ``exec_mode`` is forwarded to every :func:`deploy` (``"fast"``
     accelerates large sweeps; results are bit- and cycle-identical).
+    ``mapping`` overrides the mapping strategy of every cell (e.g.
+    ``"dp"`` regenerates the table under the cost-driven mapper).
     ``jobs > 1`` deploys cells concurrently (thread fan-out; the
     compiler, simulator and the shared tiling cache are thread-safe and
     every cell is independent). Results keep the serial
@@ -121,23 +133,34 @@ def run_table1(models: Optional[List[str]] = None,
     cells = [(m, c) for m in models for c in configs]
     if jobs is None or jobs <= 1 or len(cells) <= 1:
         return [deploy(m, c, params=params, verify=verify,
-                       exec_mode=exec_mode) for m, c in cells]
+                       exec_mode=exec_mode, mapping=mapping)
+                for m, c in cells]
     with ThreadPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
         return list(pool.map(
             lambda cell: deploy(cell[0], cell[1], params=params,
-                                verify=verify, exec_mode=exec_mode),
+                                verify=verify, exec_mode=exec_mode,
+                                mapping=mapping),
             cells))
 
 
 def format_table1(results: List[DeploymentResult]) -> str:
-    """Paper-style Table I with paper-reported values alongside."""
-    headers = ["model", "config", "peak ms", "HTVM ms", "size kB",
-               "paper peak", "paper HTVM", "paper kB", "exact"]
+    """Paper-style Table I with paper-reported values alongside.
+
+    A ``mapping`` column appears only when some result used a
+    non-default strategy, so the baseline rendering is unchanged.
+    """
+    with_mapping = any(r.mapping != "rules" for r in results)
+    headers = ["model", "config"]
+    if with_mapping:
+        headers.append("mapping")
+    headers += ["peak ms", "HTVM ms", "size kB",
+                "paper peak", "paper HTVM", "paper kB", "exact"]
     rows = []
     for r in results:
         ref = paper.TABLE1.get(r.model, {}).get(r.config, (None, None, None))
         rows.append([
             r.model, r.config,
+            *([r.mapping] if with_mapping else []),
             "OoM" if r.oom else fmt_ms(r.peak_ms),
             "OoM" if r.oom else fmt_ms(r.latency_ms),
             None if r.size_kb is None else f"{r.size_kb:.0f}",

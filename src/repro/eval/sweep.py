@@ -41,12 +41,15 @@ def sweep_param(param: str, values: Sequence, model: str = "resnet",
                 config: str = "digital",
                 base: Optional[DianaParams] = None,
                 jobs: Optional[int] = None,
-                exec_mode: str = "fast") -> List[SweepPoint]:
+                exec_mode: str = "fast",
+                mapping: Optional[str] = None) -> List[SweepPoint]:
     """Re-deploy ``model`` while sweeping one platform parameter.
 
     ``param`` must be a field of :class:`~repro.soc.DianaParams`
     (e.g. ``"l1_bytes"``, ``"dma_act_bytes_per_cycle"``,
-    ``"dig_weight_bytes"``).
+    ``"dig_weight_bytes"``). ``mapping`` selects the mapping strategy
+    each point compiles with (the cost-driven mapper re-adapts the
+    assignment to every swept platform).
 
     Sweeps default to ``exec_mode="fast"``: cycle counts (the sweep's
     output) are identical to tiled execution, and tile-accurate
@@ -65,7 +68,7 @@ def sweep_param(param: str, values: Sequence, model: str = "resnet",
         params = base.with_overrides(**{param: value})
         try:
             r = deploy(model, config, params=params, verify=False,
-                       exec_mode=exec_mode)
+                       exec_mode=exec_mode, mapping=mapping)
         except ReproError:
             return SweepPoint(param, value, model, config,
                               None, None, oom=True)

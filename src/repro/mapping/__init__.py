@@ -1,0 +1,37 @@
+"""Heterogeneous mapping: rules, candidate costing, and global search.
+
+This package grew out of ``repro.dispatch`` (which remains as a
+backwards-compatible alias): the rule checks and the weight-dtype
+selector are unchanged, and a cost-driven engine
+(:mod:`repro.mapping.engine`) now searches the full mapping design
+space on top of them. See DESIGN.md "Layering".
+"""
+
+from .candidates import (
+    CandidateCost, MappingSite, accel_candidate, cpu_candidate,
+    enumerate_sites,
+)
+from .engine import (
+    OBJECTIVES, STRATEGIES, MappingPlan, Objective, TransferEdge,
+    analyze_mapping, build_edges, evaluate_assignment, format_plan,
+    make_objective, plan_mapping, prepare_graph, transfer_penalty,
+)
+from .rules import (
+    DispatchDecision, dispatchable_layers, eligible_targets,
+    layer_spec_of, layer_spec_or_reason,
+)
+from .selector import (
+    assign_targets, dispatch_summary, retarget_composites, rules_target,
+)
+
+__all__ = [
+    "CandidateCost", "MappingSite", "accel_candidate", "cpu_candidate",
+    "enumerate_sites",
+    "OBJECTIVES", "STRATEGIES", "MappingPlan", "Objective", "TransferEdge",
+    "analyze_mapping", "build_edges", "evaluate_assignment", "format_plan",
+    "make_objective", "plan_mapping", "prepare_graph", "transfer_penalty",
+    "DispatchDecision", "dispatchable_layers", "eligible_targets",
+    "layer_spec_of", "layer_spec_or_reason",
+    "assign_targets", "dispatch_summary", "retarget_composites",
+    "rules_target",
+]

@@ -1,0 +1,105 @@
+"""Accelerator-aware dispatch rules (paper Sec. III-A).
+
+The pattern matcher finds *candidate* coarse-grained operators; the
+rules here "describe the constraints of the accelerator in more detail
+and make the final decision whether a pattern is sent to an accelerator
+or not, checking if all the parameters (e.g., stride, kernel size, data
+layout, parameter ranges, and bit-width, etc.) are supported".
+
+Each accelerator model implements ``supports(LayerSpec)``; this module
+evaluates those checks over a partitioned graph and records the
+decisions for inspection. The records feed both the classic rule-based
+selector (:mod:`repro.mapping.selector`) and the cost-driven engine
+(:mod:`repro.mapping.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dory.layer_spec import LayerSpec, spec_from_composite
+from ..errors import UnsupportedError
+from ..ir import Composite, Graph
+
+
+@dataclass
+class DispatchDecision:
+    """Why one composite ended up on its target.
+
+    ``rejections`` maps accelerator name -> rule-violation reason;
+    ``spec_error`` records why DORY could not even describe the layer
+    (empty when a :class:`LayerSpec` was extracted) so decision tables
+    can explain CPU fallbacks. ``costs`` is filled by the cost-driven
+    mapping engine: candidate target -> modeled objective cost (the
+    chosen target's cost is ``chosen_cost``); the rule-based selector
+    leaves it empty.
+    """
+
+    layer_name: str
+    pattern: str
+    target: str
+    candidates: List[str] = field(default_factory=list)
+    rejections: Dict[str, str] = field(default_factory=dict)
+    spec_error: str = ""
+    costs: Dict[str, float] = field(default_factory=dict)
+    chosen_cost: Optional[float] = None
+
+    @property
+    def fallback_reason(self) -> str:
+        """Why the layer is on the CPU (empty for offloaded layers)."""
+        if self.target != "cpu":
+            return ""
+        if self.spec_error:
+            return f"no layer spec: {self.spec_error}"
+        return "; ".join(f"{k}: {v}" for k, v in self.rejections.items())
+
+
+def layer_spec_or_reason(composite: Composite,
+                         index: int) -> Tuple[Optional[LayerSpec], str]:
+    """Extract a LayerSpec, or ``(None, reason)`` when DORY cannot.
+
+    The reason is the :class:`~repro.errors.UnsupportedError` message —
+    previously dropped, now recorded on the decision so tables can
+    explain CPU fallbacks.
+    """
+    try:
+        return spec_from_composite(
+            composite, f"layer_{index}_{composite.pattern_name}"), ""
+    except UnsupportedError as exc:
+        return None, str(exc)
+
+
+def layer_spec_of(composite: Composite, index: int) -> Optional[LayerSpec]:
+    """Extract a LayerSpec, or None for composites DORY cannot describe."""
+    return layer_spec_or_reason(composite, index)[0]
+
+
+def eligible_targets(spec: LayerSpec, soc) -> Dict[str, str]:
+    """Evaluate every accelerator's rules against one layer.
+
+    Returns a map accelerator-name -> "" (accepted) or rejection reason.
+    """
+    results: Dict[str, str] = {}
+    for name, accel in soc.accelerators.items():
+        ok, reason = accel.supports(spec)
+        results[name] = "" if ok else reason
+    return results
+
+
+def dispatchable_layers(graph: Graph, soc) -> List[tuple]:
+    """``(composite, spec, eligibility, spec_error)`` per matched layer.
+
+    ``spec`` is None (with a non-empty ``spec_error``) for composites
+    DORY cannot describe; those can only run on the CPU.
+    """
+    out = []
+    for i, comp in enumerate(graph.composites()):
+        if comp.pattern_name.startswith("cpu."):
+            continue
+        spec, reason = layer_spec_or_reason(comp, i)
+        if spec is None:
+            out.append((comp, None, {}, reason))
+            continue
+        out.append((comp, spec, eligible_targets(spec, soc), ""))
+    return out

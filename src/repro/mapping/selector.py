@@ -1,4 +1,4 @@
-"""Target selection across multiple accelerators.
+"""Rule-based target selection across multiple accelerators.
 
 "If a pattern satisfies all rules of one of the accelerators, the
 operations will be offloaded to it ... When multiple accelerators on
@@ -13,6 +13,9 @@ deployments of Table I arise from mixed-precision models (first/last
 accelerator-eligible layers and depthwise layers in 8-bit, the rest
 ternary), so the same weight-dtype rule produces the paper's mixed
 mapping — the selector itself stays model-agnostic.
+
+This is the ``mapping_strategy="rules"`` seed policy; the cost-driven
+alternatives live in :mod:`repro.mapping.engine`.
 """
 
 from __future__ import annotations
@@ -37,6 +40,31 @@ def _prefer_by_bit_width(spec, accepted: List[str]) -> str:
     return accepted[0]
 
 
+def rules_target(spec, accepted: List[str]) -> str:
+    """The complete rules policy for one layer: CPU fallback + prefer.
+
+    The single source of truth shared by :func:`assign_targets` and
+    the cost-driven engine's rules baseline
+    (:func:`repro.mapping.engine.analyze_mapping`), so the two can
+    never diverge (the CI drift gate fingerprints the engine path).
+    """
+    if spec is None or not accepted:
+        return "cpu"
+    return _prefer_by_bit_width(spec, accepted)
+
+
+def retarget_composites(graph: Graph, target_of: Dict[int, str]) -> Graph:
+    """Rebuild ``graph`` with composite targets set from ``target_of``."""
+
+    def rewriter(node: Node, new_inputs):
+        if isinstance(node, Composite) and node.node_id in target_of:
+            return Composite(node.pattern_name, node.body, new_inputs,
+                             target=target_of[node.node_id])
+        return None
+
+    return graph.rewrite(rewriter)
+
+
 def assign_targets(
     graph: Graph,
     soc,
@@ -58,10 +86,12 @@ def assign_targets(
     decisions: List[DispatchDecision] = []
     target_of: Dict[int, str] = {}
 
-    for comp, spec, eligibility in dispatchable_layers(graph, soc):
+    for comp, spec, eligibility, spec_error in dispatchable_layers(graph, soc):
         accepted = [n for n, reason in eligibility.items() if reason == ""]
         rejections = {n: r for n, r in eligibility.items() if r}
-        if spec is None or not accepted:
+        if prefer is _prefer_by_bit_width:
+            target = rules_target(spec, accepted)
+        elif spec is None or not accepted:
             target = "cpu"
         else:
             target = prefer(spec, accepted)
@@ -72,21 +102,40 @@ def assign_targets(
             target=target,
             candidates=accepted,
             rejections=rejections,
+            spec_error=spec_error,
         ))
 
-    def rewriter(node: Node, new_inputs):
-        if isinstance(node, Composite) and node.node_id in target_of:
-            return Composite(node.pattern_name, node.body, new_inputs,
-                             target=target_of[node.node_id])
-        return None
-
-    return graph.rewrite(rewriter), decisions
+    return retarget_composites(graph, target_of), decisions
 
 
 def dispatch_summary(decisions: List[DispatchDecision]) -> str:
-    """A table of layer -> target with rejection reasons."""
-    lines = [f"{'layer':<36} {'pattern':<16} {'target':<12} rejections"]
+    """A table of layer -> target with per-candidate costs and reasons.
+
+    Column widths adapt to the content (long layer names no longer
+    break the alignment); the cost column appears only when at least
+    one decision carries modeled costs (cost-driven strategies).
+    """
+    with_costs = any(d.costs for d in decisions)
+    headers = ["layer", "pattern", "target"]
+    if with_costs:
+        headers.append("cost (objective units)")
+    headers.append("why not offloaded")
+
+    rows = []
     for d in decisions:
-        rej = "; ".join(f"{k}: {v}" for k, v in d.rejections.items())
-        lines.append(f"{d.layer_name:<36} {d.pattern:<16} {d.target:<12} {rej}")
+        row = [d.layer_name, d.pattern, d.target]
+        if with_costs:
+            row.append(", ".join(
+                f"{t}={c:.0f}" if c != float("inf") else f"{t}=inf"
+                for t, c in sorted(d.costs.items())))
+        row.append(d.fallback_reason or "; ".join(
+            f"{k}: {v}" for k, v in d.rejections.items()))
+        rows.append(row)
+
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(
+            c.ljust(w) for c, w in zip(row, widths)).rstrip())
     return "\n".join(lines)

@@ -58,6 +58,40 @@ def transfer_cycles(num_bytes: int, chunks: int, params: DianaParams,
             + num_bytes / bandwidth)
 
 
+def cross_core_transfer_legs(src: str, dst: str) -> int:
+    """DMA legs of one cross-core activation hand-off (0 = free).
+
+    * same core: 0 — the producer already left the tensor where the
+      consumer wants it,
+    * CPU <-> accelerator: 1 — the CPU reads/writes L2 directly,
+    * accelerator <-> accelerator: 2 — drain + refill through L2.
+    """
+    if src == dst:
+        return 0
+    return 1 if "cpu" in (src, dst) else 2
+
+
+def cross_core_transfer_cycles(num_bytes: int, src: str, dst: str,
+                               params: DianaParams) -> float:
+    """Cycles to hand one activation tensor from ``src`` to ``dst``.
+
+    Used by the mapping engine as the inter-layer penalty of a
+    heterogeneous assignment: a layer boundary that crosses cores pays
+    a layout conversion (the digital core consumes C-y-x activations,
+    the analog macro and the CPU kernels expect their own layouts) plus
+    the uDMA traffic of staging the tensor through L2 — one leg per
+    :func:`cross_core_transfer_legs`, plus a per-element repacking pass
+    on the host.
+    """
+    legs = cross_core_transfer_legs(src, dst)
+    if legs == 0 or num_bytes <= 0:
+        return 0.0
+    dma = legs * (params.dma_setup_cycles
+                  + num_bytes / params.dma_act_bytes_per_cycle)
+    repack = num_bytes * params.cpu_cycles_per_elem_copy
+    return dma + repack
+
+
 def tile_transfer_cycles(tensor_shape: Sequence[int],
                          tile_shape: Sequence[int],
                          elem_bytes: float,
