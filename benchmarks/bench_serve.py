@@ -1,0 +1,236 @@
+"""Serving benchmark: artifact loading vs. compiling, batched vs. single.
+
+Two headline measurements on resnet8 (fast execution mode), written to
+``BENCH_serve.json``:
+
+* **cold-compile vs. artifact-load latency** — time to first servable
+  model: a full compile with an empty tiling cache vs.
+  ``repro.serve.load_artifact`` on a packed ``.dna`` file (the
+  compile-once/serve-many split the artifact store exists for);
+* **single-request vs. dynamically-batched throughput** — wall-clock
+  requests/second through the :class:`~repro.serve.InferenceServer`,
+  first with batching disabled and one closed-loop client (every
+  request waits for its response), then under saturated load with the
+  dynamic batcher coalescing (open-loop submission, the server's
+  steady-state regime).
+
+Before anything is timed the served outputs are byte-compared against
+the reference interpreter and the loaded artifact is checked bit-exact
+(outputs + modeled cycles) against a fresh compile — a divergence
+fails the run (CI smoke gate). Runs standalone
+(``python benchmarks/bench_serve.py``) and under pytest.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from bench_timing import best_of
+from repro.core import TilingCache, compile_model
+from repro.eval.harness import CONFIGS
+from repro.frontend.modelzoo import MLPERF_TINY
+from repro.runtime import Executor, random_inputs, run_reference
+from repro.serve import InferenceServer, load_artifact, pack_model
+from repro.soc import DianaSoC
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_serve.json"
+MODEL = "resnet"
+CONFIG = "digital"
+#: Eq. 2 budget forcing genuinely tiled DORY schedules (as in
+#: bench_execute), so "cold compile" includes a real tiling search.
+L1_BUDGET = 16 * 1024
+REQUESTS = 512
+MAX_BATCH = 32
+MAX_WAIT_MS = 2.0
+POOL = 8  # distinct request payloads cycled by the load generator
+REPS = 5
+
+
+class ServeDivergenceError(AssertionError):
+    """Served output or loaded artifact disagreed with the golden path."""
+
+
+def _fresh(config=CONFIG, model=MODEL):
+    precision, soc_kwargs, cfg = CONFIGS[config]
+    graph = MLPERF_TINY[model](precision=precision)
+    return graph, DianaSoC(**soc_kwargs), cfg.with_overrides(
+        l1_budget=L1_BUDGET)
+
+
+def _check_artifact(art, graph, soc, cfg):
+    """Loaded artifact must equal a fresh compile: bytes and cycles."""
+    fresh = compile_model(graph, soc, cfg)
+    if fresh.fingerprint() != art.fingerprint:
+        raise ServeDivergenceError("artifact fingerprint != fresh compile")
+    feeds = random_inputs(graph, seed=1)
+    a = Executor(art.soc, exec_mode="fast").run(art.model, feeds)
+    b = Executor(soc, exec_mode="fast").run(fresh, feeds)
+    if not np.array_equal(a.output, b.output):
+        raise ServeDivergenceError("artifact output != fresh compile")
+    if a.total_cycles != b.total_cycles:
+        raise ServeDivergenceError(
+            f"artifact cycles differ ({a.total_cycles} vs {b.total_cycles})")
+
+
+def _throughput_legacy(requests):
+    """The pre-serving status quo: every request re-runs the deploy
+    path (compile_model + execute + golden-reference validation)."""
+    from repro.eval.harness import deploy
+
+    deploy(MODEL, CONFIG, exec_mode="fast")  # warm the tiling cache
+    t0 = time.perf_counter()
+    for i in range(requests):
+        r = deploy(MODEL, CONFIG, exec_mode="fast")
+        if r.verified is not True:
+            raise ServeDivergenceError(f"legacy deploy {i} not verified")
+    return requests / (time.perf_counter() - t0)
+
+
+def _throughput_single(art, requests):
+    """Closed-loop, batching disabled: one request in flight at a time."""
+    graph = art.model.graph
+    pool = [random_inputs(graph, seed=s) for s in range(POOL)]
+    refs = [np.asarray(run_reference(graph, f)) for f in pool]
+    with InferenceServer(capacity=1, max_batch_size=1,
+                         max_wait_ms=0.0) as srv:
+        key = srv.register_artifact(art)
+        srv.infer(key, pool[0], timeout=60)  # warm caches
+        outputs = []
+        t0 = time.perf_counter()
+        for i in range(requests):
+            outputs.append(srv.infer(key, pool[i % POOL], timeout=60))
+        dt = time.perf_counter() - t0
+    for i, out in enumerate(outputs):
+        if not np.array_equal(out, refs[i % POOL]):
+            raise ServeDivergenceError(f"single request {i} != reference")
+    return requests / dt
+
+
+def _throughput_batched(art, requests, max_batch, max_wait_ms):
+    """Open-loop saturation: the dynamic batcher coalesces the queue."""
+    graph = art.model.graph
+    pool = [random_inputs(graph, seed=s) for s in range(POOL)]
+    refs = [np.asarray(run_reference(graph, f)) for f in pool]
+    with InferenceServer(capacity=1, max_batch_size=max_batch,
+                         max_wait_ms=max_wait_ms) as srv:
+        key = srv.register_artifact(art)
+        srv.infer(key, pool[0], timeout=60)
+        t0 = time.perf_counter()
+        futures = [srv.submit(key, pool[i % POOL]) for i in range(requests)]
+        outputs = [fut.result(timeout=120) for fut in futures]
+        dt = time.perf_counter() - t0
+        stats = srv.stats()[key]
+    for i, out in enumerate(outputs):
+        if not np.array_equal(out[0], refs[i % POOL][0]):
+            raise ServeDivergenceError(f"batched request {i} != reference")
+    return requests / dt, stats
+
+
+def run_bench(requests=REQUESTS, reps=REPS, max_batch=MAX_BATCH,
+              max_wait_ms=MAX_WAIT_MS, write=True) -> dict:
+    graph, soc, cfg = _fresh()
+    artifact_path = str(ROOT / f"{MODEL}8-{CONFIG}.bench.dna")
+    art = pack_model(graph, soc, cfg, artifact_path, validate_runs=1)
+    _check_artifact(art, graph, soc, cfg)
+
+    # time-to-first-servable-model: cold compile vs. artifact load.
+    # A fresh TilingCache per rep keeps the compile genuinely cold.
+    compile_s = best_of(
+        lambda: compile_model(graph, soc, cfg, cache=TilingCache()), reps)
+    load_s = best_of(lambda: load_artifact(artifact_path), reps)
+
+    legacy_rps = _throughput_legacy(max(requests // 8, 8))
+    single_rps = max(_throughput_single(art, requests) for _ in range(reps))
+    batched_rps, batched_stats = max(
+        (_throughput_batched(art, requests, max_batch, max_wait_ms)
+         for _ in range(reps)), key=lambda rs: rs[0])
+
+    pathlib.Path(artifact_path).unlink(missing_ok=True)
+    record = {
+        "model": MODEL,
+        "config": CONFIG,
+        "exec_mode": "fast",
+        "requests": requests,
+        "reps": reps,
+        "max_batch_size": max_batch,
+        "max_wait_ms": max_wait_ms,
+        "cold_compile_s": compile_s,
+        "artifact_load_s": load_s,
+        "load_speedup": compile_s / max(load_s, 1e-12),
+        "legacy_deploy_rps": legacy_rps,
+        "single_request_rps": single_rps,
+        "batched_rps": batched_rps,
+        "batched_mean_batch": batched_stats["mean_batch_size"],
+        "batching_speedup": batched_rps / max(single_rps, 1e-12),
+        "serving_speedup_vs_legacy": batched_rps / max(legacy_rps, 1e-12),
+    }
+    if write:
+        OUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _format(record: dict) -> str:
+    compile_ms = record["cold_compile_s"] * 1e3
+    load_ms = record["artifact_load_s"] * 1e3
+    return "\n".join([
+        f"serving bench ({record['model']}8 {record['config']}, fast mode, "
+        f"{record['requests']} requests, best of {record['reps']}):",
+        f"  time to servable : cold compile {compile_ms:8.1f} ms   "
+        f"artifact load {load_ms:6.1f} ms  ({record['load_speedup']:.1f}x)",
+        f"  throughput       : single-request "
+        f"{record['single_request_rps']:7.1f} req/s   batched "
+        f"{record['batched_rps']:7.1f} req/s "
+        f"({record['batching_speedup']:.2f}x, mean batch "
+        f"{record['batched_mean_batch']:.1f})",
+        f"  legacy deploy/req: {record['legacy_deploy_rps']:7.1f} req/s "
+        f"(recompile + revalidate each request; batched serving is "
+        f"{record['serving_speedup_vs_legacy']:.1f}x)",
+    ])
+
+
+def test_serve_throughput(report, benchmark):
+    """Correctness gates + a quick timing pass (full run: CI/standalone)."""
+    record = run_bench(requests=48, reps=2, write=False)
+    # the artifact path must actually skip compilation...
+    assert record["load_speedup"] > 1.0
+    # ...and coalesced serving must beat request-at-a-time serving
+    # (the committed BENCH_serve.json documents the full-size margin)
+    assert record["batching_speedup"] > 1.0
+    graph, soc, cfg = _fresh()
+    compiled = compile_model(graph, soc, cfg)
+    feeds = random_inputs(graph, seed=2)
+    with InferenceServer(max_batch_size=4, max_wait_ms=1.0) as srv:
+        key = srv.register_model(compiled, soc)
+        benchmark(lambda: srv.infer(key, feeds, timeout=60))
+    report(_format(record))
+
+
+def main(argv=None) -> int:
+    global OUT
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--reps", type=int, default=REPS)
+    parser.add_argument("--max-batch-size", type=int, default=MAX_BATCH)
+    parser.add_argument("--max-wait-ms", type=float, default=MAX_WAIT_MS)
+    parser.add_argument("--out", default=str(OUT))
+    args = parser.parse_args(argv)
+    OUT = pathlib.Path(args.out)
+    try:
+        record = run_bench(requests=args.requests, reps=args.reps,
+                           max_batch=args.max_batch_size,
+                           max_wait_ms=args.max_wait_ms)
+    except ServeDivergenceError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(_format(record))
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

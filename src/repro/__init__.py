@@ -20,8 +20,8 @@ Quickstart::
     print(model.summary(), result.total_cycles)
 """
 
-from . import baselines, codegen, core, dispatch, dory, eval, extensions, frontend
-from . import ir, mapping, numerics, patterns, runtime, soc, transforms
+from . import baselines, codegen, core, dory, eval, extensions, frontend
+from . import ir, mapping, numerics, patterns, runtime, serve, soc, transforms
 from .core import (
     CompilerConfig, CompiledModel, HTVM, HTVM_NAIVE_TILING, TVM_CPU,
     TilingCache, compile_model, get_default_cache, set_default_cache,
@@ -39,10 +39,21 @@ from .soc import DEFAULT_PARAMS, DianaParams, DianaSoC, latency_ms
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # `repro.dispatch` is a deprecated alias of `repro.mapping`; import
+    # it lazily so only code that actually reaches for the old name
+    # sees the DeprecationWarning the shim emits.
+    if name == "dispatch":
+        import importlib
+        return importlib.import_module(".dispatch", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "baselines", "codegen", "core", "dispatch", "dory", "eval",
     "extensions", "frontend",
-    "ir", "mapping", "numerics", "patterns", "runtime", "soc", "transforms",
+    "ir", "mapping", "numerics", "patterns", "runtime", "serve", "soc",
+    "transforms",
     "CompilerConfig", "CompiledModel", "HTVM", "HTVM_NAIVE_TILING",
     "TVM_CPU", "TilingCache", "compile_model", "get_default_cache",
     "set_default_cache",

@@ -33,6 +33,19 @@ costs, rejection reasons) for one model, or sweeps the latency/energy
 Pareto front across the zoo with ``--pareto`` (writes
 ``MAPPING_DSE.json``). ``compile``/``run``/``table1``/``sweep`` accept
 ``--mapping {rules,greedy,dp}`` to pick the target-selection strategy.
+
+Serving (see docs/SERVING.md)::
+
+    python -m repro.cli pack resnet --config digital --out resnet.dna
+    python -m repro.cli load resnet.dna --check
+    python -m repro.cli serve resnet.dna dscnn --requests 64 --clients 4
+
+``pack`` compiles into a self-contained ``.dna`` artifact, ``load``
+restores it without compiling (``--check`` proves bit-exactness + equal
+cycles vs. a fresh compile), and ``serve`` hosts any mix of artifacts
+and zoo models behind the dynamic-batching inference server — either an
+interactive request loop or ``--requests N --clients K`` load
+generation.
 """
 
 from __future__ import annotations
@@ -91,12 +104,50 @@ def _print_cache_stats():
               f"({s['entries']} entries)")
 
 
+def _parameter_count(graph) -> int:
+    """Total scalar parameters (weights, biases, requant constants)."""
+    from .ir import Composite, Constant
+
+    total = 0
+    for node in graph.topo_order():
+        if isinstance(node, Constant):
+            total += int(node.value.data.size)
+        elif isinstance(node, Composite):
+            total += _parameter_count(node.body)
+    return total
+
+
+def _rules_target_summary(graph) -> str:
+    """Where the default weight-dtype rules put each layer, condensed."""
+    from .mapping import assign_targets
+    from .patterns import default_specs, partition
+
+    partitioned = partition(graph, default_specs())
+    _, decisions = assign_targets(partitioned, DianaSoC())
+    counts: dict = {}
+    for d in decisions:
+        counts[d.target] = counts.get(d.target, 0) + 1
+    return " ".join(f"{t}x{n}" for t, n in
+                    sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
 def cmd_models(args) -> int:
-    print("model zoo (MLPerf Tiny v1.0):")
+    from .mapping import format_columns
+
+    headers = ["model", "MMACs", "params", "weights kB",
+               "default-rule targets (mixed)"]
+    rows = []
     for name, fn in sorted(MLPERF_TINY.items()):
-        graph = fn()
-        print(f"  {name:<12} {graph.total_macs() / 1e6:8.2f} MMACs  "
-              f"{graph.weight_bytes() / 1024:7.1f} kB weights")
+        graph = fn(precision="mixed")
+        rows.append([
+            name,
+            f"{graph.total_macs() / 1e6:.2f}",
+            f"{_parameter_count(graph):,}",
+            f"{graph.weight_bytes() / 1024:.1f}",
+            _rules_target_summary(graph),
+        ])
+    print("model zoo (MLPerf Tiny v1.0):")
+    print(format_columns(headers, rows))
     print(f"configurations: {', '.join(CONFIGS)}")
     return 0
 
@@ -223,6 +274,204 @@ def _number(text: str):
         return float(text)
     except ValueError:
         raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+
+
+def cmd_pack(args) -> int:
+    from .serve import pack_model
+
+    precision, soc, cfg = _setup(args.config, args)
+    graph = _load_model(args.model, precision)
+    out = args.out or f"{graph.name}-{args.config}.dna"
+    try:
+        art = pack_model(graph, soc, cfg, out,
+                         validate_runs=args.validate_runs,
+                         meta={"model": args.model, "config": args.config,
+                               "precision": precision, "seed": 0})
+    except OutOfMemoryError as exc:
+        print(f"OUT OF MEMORY: {exc}")
+        return 2
+    print(art.model.summary())
+    print(f"packed {out} ({os.path.getsize(out)} B gzip)")
+    print(f"config fingerprint : {art.config_fingerprint[:16]}")
+    print(f"content fingerprint: {art.fingerprint[:16]}")
+    if art.validation:
+        print(f"validated: {art.validation['exact_runs']}/"
+              f"{art.validation['runs']} bit-exact runs at pack time")
+    return 0
+
+
+def cmd_load(args) -> int:
+    import time
+
+    from .serve import load_artifact
+
+    t0 = time.perf_counter()
+    art = load_artifact(args.artifact)
+    t1 = time.perf_counter()
+    print(art.model.summary())
+    print(f"loaded in {(t1 - t0) * 1e3:.1f} ms — no compilation "
+          f"(config fp {art.config_fingerprint[:16]}, "
+          f"content fp {art.fingerprint[:16]})")
+    if art.validation:
+        print(f"pack-time validation: {art.validation['exact_runs']}/"
+              f"{art.validation['runs']} bit-exact")
+    if not args.check:
+        return 0
+
+    # --check: recompile from provenance and prove the artifact equal
+    import numpy as np
+
+    meta = art.meta or {}
+    if meta.get("precision") is None or (
+            meta.get("model") not in MLPERF_TINY
+            and not (meta.get("model") and os.path.exists(meta["model"]))):
+        print("check: artifact has no usable provenance; validating "
+              "against the reference interpreter instead")
+        from .runtime import validate_deployment
+        report = validate_deployment(art.model, art.soc, runs=3)
+        print(f"check: {report}")
+        return 0 if report.passed else 1
+    graph = _load_model(meta["model"], meta["precision"])
+    fresh = compile_model(graph, art.soc, art.config)
+    if fresh.fingerprint() != art.fingerprint:
+        print("check: FAIL — fresh compile fingerprint differs "
+              f"({fresh.fingerprint()[:16]} vs {art.fingerprint[:16]})")
+        return 1
+    feeds = random_inputs(graph, seed=1)
+    a = Executor(art.soc, exec_mode="fast").run(art.model, feeds)
+    b = Executor(art.soc, exec_mode="fast").run(fresh, feeds)
+    bit_exact = np.array_equal(np.asarray(a.output), np.asarray(b.output))
+    cycles_equal = a.total_cycles == b.total_cycles
+    print(f"check: bit-exact vs fresh compile: {bit_exact}; "
+          f"cycles equal: {cycles_equal} ({a.total_cycles:.0f})")
+    return 0 if (bit_exact and cycles_equal) else 1
+
+
+def _serve_register(server, spec: str, args):
+    """Register one ``repro serve`` positional: artifact path or zoo name."""
+    from .serve import load_artifact
+
+    if os.path.exists(spec) or spec.endswith(".dna"):
+        art = load_artifact(spec)
+        return server.register_artifact(art), art.model
+    precision, soc, cfg = _setup(args.config, args)
+    graph = _load_model(spec, precision)
+    compiled = compile_model(graph, soc, cfg)
+    return server.register_model(compiled, soc), compiled
+
+
+def _serve_load_loop(server, served, args) -> int:
+    """--requests/--clients load generation across the hosted models."""
+    import threading
+
+    import numpy as np
+
+    # precompute a small pool of (feeds, reference output) per model so
+    # --verify stays O(pool), not O(requests)
+    pool = {}
+    for key, compiled in served.items():
+        entries = []
+        for s in range(min(8, args.requests)):
+            feeds = random_inputs(compiled.graph, seed=args.seed + s)
+            ref = (np.asarray(run_reference(compiled.graph, feeds))
+                   if args.verify else None)
+            entries.append((feeds, ref))
+        pool[key] = entries
+    keys = list(served)
+    errors: list = []
+    futures = [None] * args.requests
+
+    def client(worker: int):
+        for i in range(worker, args.requests, args.clients):
+            key = keys[i % len(keys)]
+            feeds, _ = pool[key][i % len(pool[key])]
+            try:
+                futures[i] = (key, i, server.submit(key, feeds))
+            except Exception as exc:  # noqa: BLE001 — report, don't hang
+                errors.append(f"submit {i} ({key}): {exc}")
+
+    threads = [threading.Thread(target=client, args=(w,), daemon=True)
+               for w in range(args.clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    for item in futures:
+        if item is None:
+            continue
+        key, i, fut = item
+        try:
+            out = fut.result(timeout=60)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"request {i} ({key}): {exc}")
+            continue
+        _, ref = pool[key][i % len(pool[key])]
+        if ref is not None and not np.array_equal(np.asarray(out), ref):
+            errors.append(f"request {i} ({key}): output != reference")
+    print(server.format_stats())
+    if errors:
+        for e in errors[:10]:
+            print(f"error: {e}", file=sys.stderr)
+        print(f"FAIL: {len(errors)}/{args.requests} requests failed",
+              file=sys.stderr)
+        return 1
+    total = sum(s["requests"] for s in server.stats().values())
+    batches = sum(s["batches"] for s in server.stats().values())
+    print(f"OK: {total} requests in {batches} batches across "
+          f"{len(keys)} model(s), {args.clients} client(s)")
+    return 0
+
+
+def _serve_interactive(server, served, args) -> int:
+    """Local request loop: one 'MODEL [SEED]' request per stdin line."""
+    import numpy as np
+
+    print("serving; enter 'MODEL [SEED]' per line (empty line or EOF "
+          "to stop):")
+    for line in sys.stdin:
+        line = line.strip()
+        if not line or line in ("quit", "exit"):
+            break
+        parts = line.split()
+        name, seed = parts[0], int(parts[1]) if len(parts) > 1 else 0
+        match = next((k for k in served
+                      if k == name or k.split("@", 1)[0] == name), None)
+        if match is None:
+            print(f"  error: unknown model {name!r}; have {sorted(served)}")
+            continue
+        try:
+            feeds = random_inputs(served[match].graph, seed=seed)
+            fut = server.submit(match, feeds)
+            out = fut.result(timeout=60)
+        except Exception as exc:  # noqa: BLE001 — a bad request is not fatal
+            print(f"  error: {exc}")
+            continue
+        digest = int(np.int64(np.asarray(out).astype(np.int64).sum()))
+        print(f"  {match}: seed={seed} output_sum={digest} "
+              f"wall={fut.wall_s * 1e3:.2f} ms batch={fut.batch_size} "
+              f"modeled={latency_ms(fut.cycles):.3f} ms")
+    print(server.format_stats())
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serve import InferenceServer
+
+    server = InferenceServer(
+        capacity=args.capacity, max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms, exec_mode=args.exec_mode)
+    served = {}
+    try:
+        for spec in args.models:
+            key, compiled = _serve_register(server, spec, args)
+            print(f"registered {key} "
+                  f"({compiled.name}, {len(compiled.steps)} kernels)")
+            served[key] = compiled
+        if args.requests:
+            return _serve_load_loop(server, served, args)
+        return _serve_interactive(server, served, args)
+    finally:
+        server.shutdown(wait=True)
 
 
 def cmd_table1(args) -> int:
@@ -359,6 +608,57 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_mode_arg(p)
     add_mapping_arg(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "pack", help="compile a model into a .dna serving artifact")
+    p.add_argument("model")
+    p.add_argument("--config", choices=list(CONFIGS), default="mixed")
+    p.add_argument("--out", help="artifact path "
+                                 "(default: <model>-<config>.dna)")
+    p.add_argument("--validate-runs", type=int, default=1,
+                   help="bit-exact validation runs recorded at pack "
+                        "time (0 skips; default: %(default)s)")
+    add_cache_args(p)
+    add_mapping_arg(p)
+    p.set_defaults(fn=cmd_pack)
+
+    p = sub.add_parser(
+        "load", help="load a .dna artifact (no compilation) and inspect it")
+    p.add_argument("artifact")
+    p.add_argument("--check", action="store_true",
+                   help="recompile from the artifact's provenance and "
+                        "assert byte-identical outputs + equal cycles")
+    add_cache_args(p)
+    p.set_defaults(fn=cmd_load)
+
+    p = sub.add_parser(
+        "serve", help="host models/artifacts behind the batching server")
+    p.add_argument("models", nargs="+",
+                   help="any mix of .dna artifact paths and zoo names "
+                        "(zoo names are compiled with --config first)")
+    p.add_argument("--config", choices=list(CONFIGS), default="mixed",
+                   help="compile configuration for zoo-name specs")
+    p.add_argument("--capacity", type=int, default=8,
+                   help="LRU registry bound (default: %(default)s)")
+    p.add_argument("--max-batch-size", type=int, default=8,
+                   help="dynamic-batch upper bound (default: %(default)s)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="batch linger after the first queued request "
+                        "(default: %(default)s)")
+    p.add_argument("--requests", type=int, default=0,
+                   help="load-generation mode: submit N requests and "
+                        "exit (0 = interactive stdin loop)")
+    p.add_argument("--clients", type=int, default=4,
+                   help="concurrent client threads in load mode "
+                        "(default: %(default)s)")
+    p.add_argument("--verify", action="store_true",
+                   help="byte-compare every load-mode response against "
+                        "the reference interpreter")
+    p.add_argument("--seed", type=int, default=0)
+    add_cache_args(p)
+    add_mapping_arg(p)
+    add_exec_mode_arg(p, default="fast")
+    p.set_defaults(fn=cmd_serve)
 
     for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
                      ("fig4", cmd_fig4), ("fig5", cmd_fig5)):

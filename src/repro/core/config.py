@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
+
+#: config fields that do not influence compilation *results* — memo
+#: knobs may differ between two runs that still produce byte-identical
+#: deployments, so they are excluded from the fingerprint.
+_NON_SEMANTIC_FIELDS = ("tiling_cache",)
 
 
 @dataclass(frozen=True)
@@ -57,6 +64,20 @@ class CompilerConfig:
 
     def with_overrides(self, **kwargs) -> "CompilerConfig":
         return replace(self, **kwargs)
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of every compilation-semantic knob.
+
+        Two configs with equal fingerprints compile any graph to
+        byte-identical deployments (memoization-only knobs such as
+        ``tiling_cache`` are excluded). Used to key the serving
+        registry and to stamp ``.dna`` artifacts so a stale artifact
+        is never served for a differently-configured compile.
+        """
+        fields = {k: v for k, v in sorted(asdict(self).items())
+                  if k not in _NON_SEMANTIC_FIELDS}
+        payload = json.dumps(fields, sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode()).hexdigest()
 
 
 #: Plain TVM deployment: CPU-only kernels, no planning (Table I "TVM").

@@ -4,10 +4,18 @@ The dispatcher was promoted into the ``repro.mapping`` subsystem when
 target selection became a cost-driven global search; the historical
 import paths (``repro.dispatch``, ``repro.dispatch.rules``,
 ``repro.dispatch.selector``) keep working and resolve to the very same
-modules, so monkeypatching either path patches both.
+modules, so monkeypatching either path patches both. Importing through
+this shim emits a one-time :class:`DeprecationWarning` (module init
+runs once per process); new code should import :mod:`repro.mapping`.
 """
 
 import sys
+import warnings
+
+warnings.warn(
+    "repro.dispatch is a deprecated alias; import repro.mapping instead "
+    "(same modules, same behavior)",
+    DeprecationWarning, stacklevel=2)
 
 from ..mapping import rules, selector
 from ..mapping.rules import (

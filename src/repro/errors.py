@@ -56,3 +56,11 @@ class SimulationError(ReproError):
 
 class UnsupportedError(ReproError):
     """A model uses an operator or dtype the flow does not support."""
+
+
+class ArtifactError(ReproError):
+    """A serving artifact is malformed, stale, or fails integrity checks."""
+
+
+class ServingError(ReproError):
+    """The inference server was misused (unknown model, shut down, ...)."""

@@ -2,7 +2,8 @@
 
 from . import fig4, fig5, layer_report, mapping_dse, paper, sota, sweep, timeline
 from .harness import (
-    CONFIGS, DeploymentResult, deploy, format_table1, run_table1,
+    CONFIGS, DeploymentResult, deploy, deploy_artifact,
+    format_table1, run_table1,
     summarize_claims,
 )
 from .tables import format_table
@@ -10,6 +11,7 @@ from .tables import format_table
 __all__ = [
     "fig4", "fig5", "layer_report", "mapping_dse", "paper", "sota", "sweep",
     "timeline",
-    "CONFIGS", "DeploymentResult", "deploy", "format_table1", "run_table1",
+    "CONFIGS", "DeploymentResult", "deploy", "deploy_artifact",
+    "format_table1", "run_table1",
     "summarize_claims", "format_table",
 ]

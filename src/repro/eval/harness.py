@@ -56,12 +56,32 @@ class DeploymentResult:
     execution: Optional[ExecutionResult] = None
 
 
+def _finish_deployment(result: DeploymentResult, compiled, soc,
+                       seed: int, exec_mode: str,
+                       validate: bool) -> DeploymentResult:
+    """Shared execute-and-report tail of the deploy entry points."""
+    feeds = random_inputs(compiled.graph, seed=seed + 1)
+    execution = Executor(soc, exec_mode=exec_mode).run(compiled, feeds)
+    if validate:
+        reference = run_reference(compiled.graph, feeds)
+        result.verified = bool(np.array_equal(
+            np.asarray(reference), np.asarray(execution.output)))
+
+    result.latency_ms = latency_ms(execution.total_cycles, soc.params)
+    result.peak_ms = latency_ms(execution.peak_cycles, soc.params)
+    result.size_kb = compiled.binary_size_bytes / 1024
+    result.compiled = compiled
+    result.execution = execution
+    return result
+
+
 def deploy(model: str, config: str,
            params: Optional[DianaParams] = None,
            verify: bool = True,
            seed: int = 0,
            exec_mode: str = "tiled",
-           mapping: Optional[str] = None) -> DeploymentResult:
+           mapping: Optional[str] = None,
+           validate: Optional[bool] = None) -> DeploymentResult:
     """Compile + simulate one MLPerf Tiny model in one configuration.
 
     ``exec_mode`` selects the simulator's functional path for
@@ -73,9 +93,20 @@ def deploy(model: str, config: str,
     ``mapping`` overrides the configuration's
     ``CompilerConfig.mapping_strategy`` (``"rules"``, ``"greedy"`` or
     ``"dp"``); ``None`` keeps the config's own strategy.
+
+    ``validate`` controls the golden-reference re-check after
+    execution. ``None`` (default) follows ``verify`` — the historical
+    behavior, where every deploy re-interprets the whole graph. A
+    caller that already validated this deployment (e.g. the serving
+    path, which checks artifacts once at pack time) passes
+    ``validate=False`` to skip the reference interpreter on the hot
+    path; ``result.verified`` is then left as ``None`` rather than
+    recomputed.
     """
     if model not in MLPERF_TINY:
         raise KeyError(f"unknown model {model!r}; have {sorted(MLPERF_TINY)}")
+    if validate is None:
+        validate = verify
     precision, soc_kwargs, cfg = CONFIGS[config]
     if mapping is not None:
         cfg = cfg.with_overrides(mapping_strategy=mapping)
@@ -94,18 +125,35 @@ def deploy(model: str, config: str,
         result.compiled = compiled
         return result
 
-    feeds = random_inputs(graph, seed=seed + 1)
-    execution = Executor(soc, exec_mode=exec_mode).run(compiled, feeds)
-    if verify:
-        reference = run_reference(compiled.graph, feeds)
-        result.verified = bool(np.array_equal(
-            np.asarray(reference), np.asarray(execution.output)))
+    return _finish_deployment(result, compiled, soc, seed, exec_mode,
+                              validate)
 
-    result.latency_ms = latency_ms(execution.total_cycles, soc.params)
-    result.peak_ms = latency_ms(execution.peak_cycles, soc.params)
-    result.size_kb = compiled.binary_size_bytes / 1024
-    result.compiled = compiled
-    result.execution = execution
+
+def deploy_artifact(artifact,
+                    seed: int = 0,
+                    exec_mode: str = "fast",
+                    validate: Optional[bool] = None) -> DeploymentResult:
+    """Simulate a packed ``.dna`` artifact — no compilation at all.
+
+    ``artifact`` is a path or a
+    :class:`~repro.serve.artifact.LoadedArtifact`. By default the
+    pack-time validation record is trusted: ``result.verified`` is
+    carried over from the artifact and the reference interpreter is
+    *not* re-run (the serving hot path). Pass ``validate=True`` to
+    force a fresh bit-exact check anyway.
+    """
+    from ..serve.artifact import LoadedArtifact, load_artifact
+    if not isinstance(artifact, LoadedArtifact):
+        artifact = load_artifact(artifact)
+    if validate is None:
+        validate = False
+    result = DeploymentResult(
+        model=artifact.model.name, config=artifact.config.name,
+        mapping=artifact.config.mapping_strategy)
+    result = _finish_deployment(result, artifact.model, artifact.soc,
+                                seed, exec_mode, validate)
+    if not validate and artifact.validation is not None:
+        result.verified = bool(artifact.validation.get("passed"))
     return result
 
 

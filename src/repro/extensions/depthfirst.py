@@ -174,7 +174,7 @@ def chain_from_graph(graph: Graph, max_len: Optional[int] = None
     Operates on a partitioned graph (composites present); useful for
     asking "what would depth-first buy on MobileNet's first stages?".
     """
-    from ..dispatch.rules import layer_spec_of
+    from ..mapping.rules import layer_spec_of
 
     comps = [c for c in graph.composites()
              if c.pattern_name == "htvm.qconv2d"]

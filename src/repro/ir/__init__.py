@@ -19,7 +19,10 @@ from .node import Call, Composite, Constant, Node, Var
 from .graph import Graph
 from .builder import GraphBuilder
 from .printer import graph_to_text, summarize
-from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .serialization import (
+    decode_array, encode_array, graph_digest, graph_from_dict, graph_to_dict,
+    load_graph, save_graph,
+)
 from .dot import graph_to_dot, save_dot
 
 __all__ = [
@@ -29,6 +32,7 @@ __all__ = [
     "OpDef", "all_ops", "conv2d_output_hw", "get_op", "register_op",
     "Call", "Composite", "Constant", "Node", "Var",
     "Graph", "GraphBuilder", "graph_to_text", "summarize",
+    "decode_array", "encode_array", "graph_digest",
     "graph_from_dict", "graph_to_dict", "load_graph", "save_graph",
     "graph_to_dot", "save_dot",
 ]

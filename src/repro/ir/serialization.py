@@ -8,6 +8,7 @@ base64 so a model is a single self-contained JSON document.
 from __future__ import annotations
 
 import base64
+import hashlib
 import json
 from typing import Dict
 
@@ -22,7 +23,8 @@ from .dtypes import dtype as _dtype
 FORMAT_VERSION = 1
 
 
-def _encode_array(arr: np.ndarray) -> Dict:
+def encode_array(arr: np.ndarray) -> Dict:
+    """Encode a numpy array as a JSON-safe dict (shape/dtype/base64)."""
     return {
         "shape": list(arr.shape),
         "np_dtype": str(arr.dtype),
@@ -30,9 +32,27 @@ def _encode_array(arr: np.ndarray) -> Dict:
     }
 
 
-def _decode_array(obj: Dict) -> np.ndarray:
+def decode_array(obj: Dict) -> np.ndarray:
+    """Invert :func:`encode_array`; the result owns its memory."""
     raw = base64.b64decode(obj["b64"])
     return np.frombuffer(raw, dtype=obj["np_dtype"]).reshape(obj["shape"]).copy()
+
+
+# historical private names, kept for in-tree callers
+_encode_array = encode_array
+_decode_array = decode_array
+
+
+def graph_digest(graph: Graph) -> str:
+    """Content digest of a graph: structure, attributes and raw weights.
+
+    Two graphs with equal digests serialize identically, hence compile
+    and execute identically. Used by
+    :meth:`repro.core.program.CompiledModel.fingerprint` and the
+    ``.dna`` artifact integrity check.
+    """
+    payload = json.dumps(graph_to_dict(graph), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 def _attrs_to_json(attrs: Dict) -> Dict:

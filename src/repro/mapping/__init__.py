@@ -21,7 +21,8 @@ from .rules import (
     layer_spec_of, layer_spec_or_reason,
 )
 from .selector import (
-    assign_targets, dispatch_summary, retarget_composites, rules_target,
+    assign_targets, dispatch_summary, format_columns, retarget_composites,
+    rules_target,
 )
 
 __all__ = [
@@ -32,6 +33,6 @@ __all__ = [
     "make_objective", "plan_mapping", "prepare_graph", "transfer_penalty",
     "DispatchDecision", "dispatchable_layers", "eligible_targets",
     "layer_spec_of", "layer_spec_or_reason",
-    "assign_targets", "dispatch_summary", "retarget_composites",
-    "rules_target",
+    "assign_targets", "dispatch_summary", "format_columns",
+    "retarget_composites", "rules_target",
 ]

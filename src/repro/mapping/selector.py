@@ -108,6 +108,21 @@ def assign_targets(
     return retarget_composites(graph, target_of), decisions
 
 
+def format_columns(headers: List[str], rows: List[list]) -> str:
+    """Left-aligned text table with content-adaptive column widths.
+
+    The sizing logic behind :func:`dispatch_summary`, shared with other
+    tabular CLI output (e.g. ``repro models``).
+    """
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(
+            c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
 def dispatch_summary(decisions: List[DispatchDecision]) -> str:
     """A table of layer -> target with per-candidate costs and reasons.
 
@@ -132,10 +147,4 @@ def dispatch_summary(decisions: List[DispatchDecision]) -> str:
             f"{k}: {v}" for k, v in d.rejections.items()))
         rows.append(row)
 
-    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
-              for i, h in enumerate(headers)]
-    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()]
-    for row in rows:
-        lines.append("  ".join(
-            c.ljust(w) for c, w in zip(row, widths)).rstrip())
-    return "\n".join(lines)
+    return format_columns(headers, rows)

@@ -133,16 +133,42 @@ def _to_int32(acc: np.ndarray) -> np.ndarray:
     return acc.astype(np.int64).astype(np.int32)
 
 
+#: batch size at which dense convolutions switch from the per-tap GEMM
+#: to the explicit im2col GEMM. Per tap, the batched matmul runs N
+#: small stacked GEMMs and N strided accumulation passes; from a few
+#: samples up, one (K, C*fh*fw) x (C*fh*fw, OH*OW) GEMM per sample over
+#: a materialized column buffer is measurably faster (the serving
+#: batcher's hot path). Both orders are exact — see ``_acc_dtype``.
+_IM2COL_BATCH_THRESHOLD = 4
+
+
+def _im2col_gemm(xp: np.ndarray, wa: np.ndarray, sh: int,
+                 sw: int) -> np.ndarray:
+    """Dense conv as one GEMM per sample over an explicit column buffer.
+
+    Each output element is a single dot product over all ``c*fh*fw``
+    taps, so the float-exactness bound of ``_acc_dtype`` (which is
+    computed from exactly that reduction length) applies unchanged.
+    """
+    k, c, fh, fw = wa.shape
+    win = sliding_window_view(xp, (fh, fw), axis=(2, 3))[:, :, ::sh, ::sw]
+    n, _, oh, ow = win.shape[:4]
+    col = np.ascontiguousarray(
+        win.transpose(0, 1, 4, 5, 2, 3)).reshape(n, c * fh * fw, oh * ow)
+    out = wa.reshape(k, c * fh * fw) @ col
+    return out.reshape(n, k, oh, ow)
+
+
 def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
            groups: int = 1) -> np.ndarray:
     """Grouped 2D convolution, int32 accumulation.
 
-    Dense convolutions (``groups == 1``) run as a single im2col-style
-    tensor contraction over a stride-tricks window view; depthwise
-    convolutions (``C_g == 1``) use a dedicated einsum path with no
-    Python loop over channels. int32 addition is associative and
-    commutative even under wraparound, so both are byte-identical to
-    the naive loop nest.
+    Dense convolutions (``groups == 1``) run as per-tap GEMMs for small
+    batches and as an explicit im2col GEMM for batched inputs or large
+    filters; depthwise convolutions (``C_g == 1``) use a dedicated
+    einsum path with no Python loop over channels. int32 addition is
+    associative and commutative even under wraparound, so all paths are
+    byte-identical to the naive loop nest.
 
     Args:
         x: NCHW input (any integer dtype).
@@ -152,6 +178,19 @@ def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
 
     Returns:
         N x K x OH x OW int32 tensor.
+    """
+    return _to_int32(conv2d_acc(x, w, strides, padding, groups))
+
+
+def conv2d_acc(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
+               groups: int = 1) -> np.ndarray:
+    """:func:`conv2d` without the final int32 narrowing.
+
+    Returns the raw exact accumulator in whatever dtype the MAC
+    reduction ran in (float32/float64 when BLAS-exact, else int32) —
+    a fresh array the caller owns. :func:`requantize_acc` consumes it
+    directly, skipping one full-tensor materialization on the serving
+    hot path; ``_to_int32`` recovers the public contract.
     """
     n, c, ih, iw = x.shape
     k, cg, fh, fw = w.shape
@@ -173,7 +212,9 @@ def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
             # pointwise conv: a batched GEMM over the flattened feature
             # map, no im2col copy
             out = wa[:, :, 0, 0] @ xp.reshape(n, c, oh * ow)
-            return _to_int32(out.reshape(n, k, oh, ow))
+            return out.reshape(n, k, oh, ow)
+        if n >= _IM2COL_BATCH_THRESHOLD:
+            return _im2col_gemm(xp, wa, sh, sw)
         if fh * fw <= 25:
             # small filters: one GEMM per tap beats materializing the
             # im2col gather
@@ -196,7 +237,7 @@ def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
                             first = False
                         else:
                             acc += tap
-                return _to_int32(acc)
+                return acc
             for dy in range(fh):
                 for dx in range(fw):
                     sl = np.ascontiguousarray(
@@ -208,12 +249,10 @@ def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
                         first = False
                     else:
                         acc += tap
-            return _to_int32(acc)
-        # large filters: im2col contraction
-        # (n, c, oh, ow, fh, fw) x (k, c, fh, fw) -> (n, oh, ow, k)
-        win = _windows(xp, fh, fw, sh, sw)
-        out = np.tensordot(win, wa, axes=((1, 4, 5), (1, 2, 3)))
-        return _to_int32(np.ascontiguousarray(out.transpose(0, 3, 1, 2)))
+            return acc
+        # large filters: materializing the im2col gather beats 25+
+        # per-tap passes even single-sample
+        return _im2col_gemm(xp, wa, sh, sw)
     if cg == 1 and kg == 1:
         # depthwise: per-tap multiply-accumulate, vectorized over all
         # channels (no Python loop over groups)
@@ -242,8 +281,14 @@ def conv2d(x: np.ndarray, w: np.ndarray, strides=(1, 1), padding=(0, 0),
 
 def dense(x: np.ndarray, w: np.ndarray) -> np.ndarray:
     """Fully-connected layer: x[N,C] @ w[K,C]^T with int32 accumulation."""
+    return _to_int32(dense_acc(x, w))
+
+
+def dense_acc(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """:func:`dense` without the final int32 narrowing (see
+    :func:`conv2d_acc`)."""
     acc_dt = _acc_dtype(x, w, x.shape[-1])
-    return _to_int32(x.astype(acc_dt) @ _memo_cast(w, acc_dt).T)
+    return x.astype(acc_dt) @ _memo_cast(w, acc_dt).T
 
 
 def bias_add(x: np.ndarray, bias: np.ndarray, axis: int = 1) -> np.ndarray:
@@ -364,6 +409,60 @@ def bias_requantize(acc: np.ndarray, bias, shift: int, relu_after: bool,
     # post-clip values fit int8, so the narrowing cast is exact
     np.clip(acc, a_min, a_max, out=out, casting="unsafe")
     return out
+
+
+def requantize_acc(acc: np.ndarray, bias, shift: int, relu_after: bool,
+                   a_min: int = -128, a_max: int = 127,
+                   acc_bound: int = 0) -> np.ndarray:
+    """Bias-add + requantize a *raw* accumulator from
+    :func:`conv2d_acc` / :func:`dense_acc`.
+
+    When the accumulator ran in exact floats and
+    ``acc_bound + max|bias| + rounding`` provably stays inside the
+    dtype's exact-integer range, the whole tail runs in place on the
+    float array — no int32 materialization, no temporaries:
+    ``floor((acc + bias + rnd) * 2**-shift)`` equals the hardware's
+    arithmetic-shift-with-round-half-up bit-for-bit (``>>`` rounds
+    toward -inf, exactly ``floor``). Otherwise it falls back to the
+    classic int32 path. ``acc_bound`` is the caller's static bound on
+    ``max|acc|`` (e.g. ``reduction_length << 14`` for int8 MACs); 0
+    disables the float path.
+
+    The accumulator must be owned by the caller — it is clobbered.
+    """
+    shift = int(shift)
+    if shift < 0:
+        raise SimulationError(f"negative shift {shift}")
+    exact_bits = {np.dtype(np.float32): 24,
+                  np.dtype(np.float64): 53}.get(acc.dtype)
+    if exact_bits and acc_bound > 0:
+        rnd = (1 << (shift - 1)) if shift > 0 else 0
+        bias_max = int(np.abs(bias).max()) if bias is not None and \
+            bias.size else 0
+        # the fallback path wraps in int32 ("as the hardware does"), so
+        # the float path must also prove no int32 overflow could occur
+        safe_bits = min(exact_bits, 31)
+        if acc_bound + bias_max + rnd < (1 << safe_bits):
+            if bias is not None:
+                shape = [1] * acc.ndim
+                shape[1] = bias.shape[0]
+                badd = (np.asarray(bias, dtype=np.int64) + rnd).astype(
+                    acc.dtype).reshape(shape)
+                np.add(acc, badd, out=acc)
+            elif rnd:
+                acc += acc.dtype.type(rnd)
+            if shift > 0:
+                np.multiply(acc, acc.dtype.type(2.0 ** -shift), out=acc)
+                np.floor(acc, out=acc)
+            if relu_after:
+                a_min = max(a_min, 0)
+            out = np.empty(acc.shape, dtype=np.int8)
+            # post-clip values are exact small integers: the narrowing
+            # float -> int8 cast is exact
+            np.clip(acc, a_min, a_max, out=out, casting="unsafe")
+            return out
+    return bias_requantize(_to_int32(acc), bias, shift, relu_after,
+                           a_min, a_max)
 
 
 def concatenate(x: np.ndarray, y: np.ndarray, axis: int = 1) -> np.ndarray:

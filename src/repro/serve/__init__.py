@@ -1,0 +1,22 @@
+"""Serving subsystem: compiled-artifact store + multi-model server.
+
+Splits deployment into *compile once* (``pack_model`` /
+``save_artifact`` produce a self-contained versioned ``.dna`` file)
+and *serve many* (:class:`InferenceServer` hosts loaded artifacts with
+per-model dynamic batching). See ``docs/SERVING.md``.
+"""
+
+from .artifact import (
+    ARTIFACT_MAGIC, ARTIFACT_VERSION, LoadedArtifact, artifact_from_dict,
+    artifact_to_dict, load_artifact, pack_model, save_artifact,
+)
+from .batcher import BatcherStats, DynamicBatcher, InferenceFuture
+from .server import InferenceServer, ServerConfig
+
+__all__ = [
+    "ARTIFACT_MAGIC", "ARTIFACT_VERSION", "LoadedArtifact",
+    "artifact_from_dict", "artifact_to_dict", "load_artifact",
+    "pack_model", "save_artifact",
+    "BatcherStats", "DynamicBatcher", "InferenceFuture",
+    "InferenceServer", "ServerConfig",
+]

@@ -1,0 +1,374 @@
+"""Compiled-artifact store: persistent ``.dna`` deployment files.
+
+Production deployment stacks split *compile once* from *serve many*:
+the expensive search (mapping, DORY tiling, memory planning) runs in a
+build step whose output is a self-contained artifact, and the serving
+fleet only ever loads artifacts. ``save_artifact``/``load_artifact``
+implement that split for this system.
+
+A ``.dna`` file is a gzip-compressed JSON document holding one fully
+compiled deployment:
+
+* the optimized graph (structure + weights, via
+  :mod:`repro.ir.serialization`),
+* the program: every step with its target, layer geometry and chosen
+  tile configuration,
+* the L2 buffer plan, binary-size model and mapping decisions,
+* the generated C sources,
+* the platform (accelerator set + all calibration constants), and
+* provenance: format version, the
+  :meth:`~repro.core.config.CompilerConfig.fingerprint` of the compile,
+  the compiled model's content fingerprint, and an optional validation
+  record from pack time.
+
+Loading rebuilds a :class:`~repro.core.program.CompiledModel` without
+invoking the compiler: layer specs are re-extracted from the stored
+graph (so weight payloads are stored exactly once) and cross-checked
+against the stored geometry, tile configurations are restored verbatim
+(no DORY search), and the memory plan / size model are restored
+verbatim. A loaded artifact therefore produces byte-identical outputs
+and exactly equal modeled cycles to the compile that produced it —
+property-tested over the model zoo in ``tests/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import CompilerConfig
+from ..core.program import (
+    AccelStep, BufferSpec, CompiledModel, CpuKernelStep, SizeBreakdown,
+)
+from ..dory.memory_plan import MemoryPlan, TensorLife
+from ..dory.tiling_types import TileConfig, TilingSolution
+from ..errors import ArtifactError
+from ..ir import TensorType, graph_from_dict, graph_to_dict
+from ..ir.dtypes import dtype as _dtype
+from ..mapping import layer_spec_of
+from ..mapping.rules import DispatchDecision
+from ..soc import DianaParams, DianaSoC
+
+#: artifact container format version; bump on any layout change.
+ARTIFACT_VERSION = 1
+#: magic marker distinguishing ``.dna`` payloads from arbitrary JSON.
+ARTIFACT_MAGIC = "repro-dna"
+
+#: LayerSpec fields stored for the integrity cross-check (everything
+#: except the weight/bias payloads, which live in the graph).
+_SPEC_FIELDS = (
+    "name", "kind", "in_channels", "out_channels", "iy", "ix", "oy", "ox",
+    "fy", "fx", "strides", "padding", "groups", "weight_dtype", "in_dtype",
+    "out_dtype", "shift", "relu",
+)
+
+
+@dataclass
+class LoadedArtifact:
+    """Everything :func:`load_artifact` reconstructs from one file."""
+
+    model: CompiledModel
+    soc: DianaSoC
+    config: CompilerConfig
+    config_fingerprint: str
+    fingerprint: str
+    deployment_fingerprint: str = ""
+    validation: Optional[Dict] = None
+    meta: Optional[Dict] = None
+
+    @property
+    def key(self) -> str:
+        """Registry key: model name + deployment fingerprint.
+
+        The deployment fingerprint extends the compile-config
+        fingerprint with the platform (accelerator set + calibration
+        constants): Table I's ``digital`` and ``mixed`` cells share one
+        ``CompilerConfig`` and differ only in enabled accelerators, so
+        the config fingerprint alone would alias distinct deployments.
+        """
+        return f"{self.model.name}@{self.deployment_fingerprint[:12]}"
+
+
+def _spec_to_dict(spec) -> Dict:
+    out = {}
+    for f in _SPEC_FIELDS:
+        v = getattr(spec, f)
+        out[f] = list(v) if isinstance(v, tuple) else v
+    return out
+
+
+def _step_to_dict(step, index: int) -> Dict:
+    base = {
+        "name": step.name,
+        "input_names": list(step.input_names),
+        "output_name": step.output_name,
+        "composite": index,
+    }
+    if isinstance(step, CpuKernelStep):
+        base.update(kind="cpu", signature=step.signature)
+    elif isinstance(step, AccelStep):
+        sol = step.tiling
+        base.update(
+            kind="accel",
+            target=step.accel_target,
+            spec=_spec_to_dict(step.spec),
+            tiling={
+                "c_t": sol.cfg.c_t, "k_t": sol.cfg.k_t,
+                "oy_t": sol.cfg.oy_t, "ox_t": sol.cfg.ox_t,
+                "l1_in_bytes": sol.l1_in_bytes,
+                "l1_out_bytes": sol.l1_out_bytes,
+                "l1_weight_bytes": sol.l1_weight_bytes,
+                "objective": sol.objective,
+                "needs_tiling": sol.needs_tiling,
+            },
+        )
+    else:
+        raise ArtifactError(f"cannot serialize step {step!r}")
+    return base
+
+
+def _decision_to_dict(d: DispatchDecision) -> Dict:
+    return {
+        "layer_name": d.layer_name, "pattern": d.pattern, "target": d.target,
+        "candidates": list(d.candidates), "rejections": dict(d.rejections),
+        "spec_error": d.spec_error, "costs": dict(d.costs),
+        "chosen_cost": d.chosen_cost,
+    }
+
+
+def artifact_to_dict(compiled: CompiledModel, soc: DianaSoC,
+                     config: CompilerConfig,
+                     validation: Optional[Dict] = None,
+                     meta: Optional[Dict] = None) -> Dict:
+    """Serialize one compiled deployment to a JSON-safe dict."""
+    if compiled.graph is None:
+        raise ArtifactError(
+            f"{compiled.name}: compiled model carries no graph; "
+            "cannot build a self-contained artifact")
+    plan = compiled.memory_plan
+    return {
+        "format": ARTIFACT_MAGIC,
+        "version": ARTIFACT_VERSION,
+        "model": compiled.name,
+        "config": dataclasses.asdict(config),
+        "config_fingerprint": config.fingerprint(),
+        "fingerprint": compiled.fingerprint(),
+        "soc": {
+            "enable_digital": "soc.digital" in soc.accelerators,
+            "enable_analog": "soc.analog" in soc.accelerators,
+            "params": dataclasses.asdict(soc.params),
+        },
+        "graph": graph_to_dict(compiled.graph),
+        "steps": [_step_to_dict(s, i) for i, s in enumerate(compiled.steps)],
+        "buffers": {name: {"shape": list(b.ttype.shape),
+                           "dtype": b.ttype.dtype.name}
+                    for name, b in compiled.buffers.items()},
+        "input_names": list(compiled.input_names),
+        "output_name": compiled.output_name,
+        "memory_plan": {
+            "offsets": dict(plan.offsets),
+            "sizes": dict(plan.sizes),
+            "lifetimes": {n: [life.size, life.start, life.end]
+                          for n, life in plan.lifetimes.items()},
+            "arena_bytes": plan.arena_bytes,
+            "reuse": plan.reuse,
+        },
+        "size": {
+            "runtime": compiled.size.runtime,
+            "cpu_kernels": compiled.size.cpu_kernels,
+            "accel_drivers": compiled.size.accel_drivers,
+            "weights": compiled.size.weights,
+        },
+        "decisions": [_decision_to_dict(d)
+                      for d in compiled.dispatch_decisions],
+        "c_sources": dict(compiled.c_sources),
+        "validation": validation,
+        "meta": meta,
+    }
+
+
+def _check_spec(name: str, spec, stored: Dict):
+    """Cross-check a re-extracted spec against the stored geometry."""
+    got = _spec_to_dict(spec)
+    if got != stored:
+        diff = {k: (stored.get(k), got.get(k))
+                for k in set(stored) | set(got)
+                if stored.get(k) != got.get(k)}
+        raise ArtifactError(
+            f"{name}: stored layer geometry disagrees with the packed "
+            f"graph ({diff}); artifact is corrupt or from an "
+            "incompatible version")
+
+
+def artifact_from_dict(obj: Dict) -> LoadedArtifact:
+    """Rebuild a deployment from :func:`artifact_to_dict` output."""
+    if obj.get("format") != ARTIFACT_MAGIC:
+        raise ArtifactError("not a repro artifact (bad magic)")
+    if obj.get("version") != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"unsupported artifact version {obj.get('version')!r} "
+            f"(this build reads version {ARTIFACT_VERSION})")
+
+    config = CompilerConfig(**obj["config"])
+    soc_rec = obj["soc"]
+    soc = DianaSoC(
+        params=DianaParams(**soc_rec["params"]),
+        enable_digital=soc_rec["enable_digital"],
+        enable_analog=soc_rec["enable_analog"],
+    )
+    graph = graph_from_dict(obj["graph"])
+    composites = graph.composites()
+
+    steps = []
+    for rec in obj["steps"]:
+        idx = rec["composite"]
+        if idx >= len(composites):
+            raise ArtifactError(
+                f"step {rec['name']}: composite index {idx} out of range "
+                f"({len(composites)} composites in packed graph)")
+        comp = composites[idx]
+        if rec["kind"] == "cpu":
+            steps.append(CpuKernelStep(
+                name=rec["name"], input_names=list(rec["input_names"]),
+                output_name=rec["output_name"], body=comp.body,
+                signature=rec["signature"],
+            ))
+            continue
+        if rec["kind"] != "accel":
+            raise ArtifactError(f"unknown step kind {rec['kind']!r}")
+        spec = layer_spec_of(comp, idx)
+        if spec is None:
+            raise ArtifactError(
+                f"step {rec['name']}: packed composite no longer yields "
+                "a layer spec")
+        _check_spec(rec["name"], spec, rec["spec"])
+        t = rec["tiling"]
+        sol = TilingSolution(
+            spec=spec,
+            cfg=TileConfig(c_t=t["c_t"], k_t=t["k_t"],
+                           oy_t=t["oy_t"], ox_t=t["ox_t"]),
+            target=rec["target"],
+            l1_in_bytes=t["l1_in_bytes"],
+            l1_out_bytes=t["l1_out_bytes"],
+            l1_weight_bytes=t["l1_weight_bytes"],
+            objective=t["objective"],
+            needs_tiling=t["needs_tiling"],
+        )
+        steps.append(AccelStep(
+            name=rec["name"], input_names=list(rec["input_names"]),
+            output_name=rec["output_name"], accel_target=rec["target"],
+            spec=spec, tiling=sol,
+        ))
+
+    buffers = {
+        name: BufferSpec(name, TensorType(tuple(b["shape"]),
+                                          _dtype(b["dtype"])))
+        for name, b in obj["buffers"].items()
+    }
+    plan_rec = obj["memory_plan"]
+    plan = MemoryPlan(
+        offsets=dict(plan_rec["offsets"]),
+        sizes=dict(plan_rec["sizes"]),
+        lifetimes={n: TensorLife(n, size, start, end)
+                   for n, (size, start, end)
+                   in plan_rec["lifetimes"].items()},
+        arena_bytes=plan_rec["arena_bytes"],
+        reuse=plan_rec["reuse"],
+    )
+    decisions = [DispatchDecision(**d) for d in obj.get("decisions", [])]
+
+    model = CompiledModel(
+        name=obj["model"], config_name=config.name, steps=steps,
+        buffers=buffers, input_names=list(obj["input_names"]),
+        output_name=obj["output_name"], memory_plan=plan,
+        size=SizeBreakdown(**obj["size"]),
+        c_sources=dict(obj.get("c_sources", {})),
+        dispatch_decisions=decisions, graph=graph,
+    )
+
+    fingerprint = model.fingerprint()
+    if fingerprint != obj["fingerprint"]:
+        raise ArtifactError(
+            f"{model.name}: artifact fingerprint mismatch "
+            f"(stored {obj['fingerprint'][:12]}, "
+            f"reconstructed {fingerprint[:12]}) — file is corrupt")
+
+    deployment_fp = hashlib.sha256(
+        (obj["config_fingerprint"]
+         + json.dumps(soc_rec, sort_keys=True)).encode()).hexdigest()
+    return LoadedArtifact(
+        model=model, soc=soc, config=config,
+        config_fingerprint=obj["config_fingerprint"],
+        fingerprint=fingerprint,
+        deployment_fingerprint=deployment_fp,
+        validation=obj.get("validation"),
+        meta=obj.get("meta"),
+    )
+
+
+def save_artifact(path: str, compiled: CompiledModel, soc: DianaSoC,
+                  config: CompilerConfig,
+                  validation: Optional[Dict] = None,
+                  meta: Optional[Dict] = None) -> str:
+    """Write one compiled deployment to ``path`` as a ``.dna`` file.
+
+    Returns the artifact's content fingerprint. ``validation`` is an
+    optional free-form record of a pack-time validation run (see
+    :func:`pack_model`); loaders can use it to skip re-validation on
+    the serving hot path. ``meta`` is free-form provenance (e.g. which
+    zoo model / seed produced the graph) used by ``repro load
+    --check`` to reproduce the fresh compile.
+    """
+    record = artifact_to_dict(compiled, soc, config, validation=validation,
+                              meta=meta)
+    with gzip.open(path, "wt", encoding="utf-8", compresslevel=6) as f:
+        json.dump(record, f)
+    return record["fingerprint"]
+
+
+def load_artifact(path: str) -> LoadedArtifact:
+    """Read a ``.dna`` file back into an executable deployment.
+
+    Skips compilation entirely: no pattern matching, mapping search,
+    DORY tiling or memory planning runs. Raises
+    :class:`~repro.errors.ArtifactError` on any integrity failure.
+    """
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            obj = json.load(f)
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}")
+    return artifact_from_dict(obj)
+
+
+def pack_model(graph, soc: DianaSoC, config: CompilerConfig, path: str,
+               validate_runs: int = 1,
+               meta: Optional[Dict] = None) -> LoadedArtifact:
+    """Compile ``graph`` and write the artifact in one step.
+
+    With ``validate_runs > 0`` the fresh deployment is validated
+    (bit-exact vs. the reference interpreter) before packing and the
+    outcome is recorded in the artifact, so serving can trust the file
+    without re-running the check. Returns the loaded-back artifact —
+    the round trip doubles as an end-to-end integrity test.
+    """
+    from ..core.compiler import compile_model
+    from ..runtime import validate_deployment
+
+    compiled = compile_model(graph, soc, config)
+    validation = None
+    if validate_runs > 0:
+        report = validate_deployment(compiled, soc, runs=validate_runs)
+        if not report.passed:
+            raise ArtifactError(
+                f"{compiled.name}: refusing to pack an unvalidated "
+                f"deployment ({report})")
+        validation = {"runs": report.runs, "exact_runs": report.exact_runs,
+                      "passed": True}
+    save_artifact(path, compiled, soc, config, validation=validation,
+                  meta=meta)
+    return load_artifact(path)

@@ -1,0 +1,257 @@
+"""Dynamic request batching for one served model.
+
+The simulator's fast executor evaluates a batch of N samples in one
+vectorized pass at far below N times the single-sample wall-clock
+(see ``BENCH_execute.json``), but requests arrive one at a time. A
+:class:`DynamicBatcher` closes that gap the way production inference
+servers do: requests queue per model, a worker thread coalesces
+whatever is waiting — up to ``max_batch_size`` requests or
+``max_wait_ms`` of linger after the first one — and executes the
+coalesced batch through :meth:`~repro.runtime.Executor.run_batch`.
+Under load, batches fill and throughput approaches the vectorized
+limit; a lone request pays at most the linger.
+
+Batching never changes results: ``run_batch`` is byte-identical per
+sample to N single runs, and modeled cycles are per-inference (DIANA
+processes samples sequentially), so latency/energy accounting is
+unaffected by how requests were coalesced.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ServingError
+
+#: sentinel enqueued by :meth:`DynamicBatcher.stop`.
+_STOP = object()
+
+
+class InferenceFuture:
+    """Handle to one queued request; resolved by the batcher worker."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._output: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        #: filled by the batcher: wall seconds spent queued + executing
+        self.wall_s: Optional[float] = None
+        #: modeled cycles of the inference (input-independent)
+        self.cycles: Optional[float] = None
+        #: size of the coalesced batch this request rode in
+        self.batch_size: Optional[int] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until resolved; re-raises the worker-side error."""
+        if not self._event.wait(timeout):
+            raise ServingError("inference timed out")
+        if self._error is not None:
+            raise self._error
+        return self._output
+
+    def _resolve(self, output: np.ndarray):
+        self._output = output
+        self._event.set()
+
+    def _fail(self, error: BaseException):
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _Request:
+    feeds: Dict[str, np.ndarray]
+    future: InferenceFuture
+    t_enqueue: float
+
+
+@dataclass
+class BatcherStats:
+    """Running counters of one model's batcher (thread-safe snapshot
+    via :meth:`DynamicBatcher.stats`)."""
+
+    requests: int = 0
+    batches: int = 0
+    errors: int = 0
+    wall_s_total: float = 0.0          #: sum of per-request wall latency
+    wall_s_max: float = 0.0
+    exec_s_total: float = 0.0          #: worker time inside run_batch
+    cycles_per_inference: Optional[float] = None
+    batch_size_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def mean_wall_ms(self) -> float:
+        return 1e3 * self.wall_s_total / self.requests if self.requests \
+            else 0.0
+
+
+class DynamicBatcher:
+    """Queue + worker thread coalescing requests for one compiled model.
+
+    Args:
+        compiled: the deployment to serve.
+        executor: a :class:`~repro.runtime.Executor` bound to the
+            artifact's SoC (``"fast"`` mode for throughput serving).
+        max_batch_size: upper bound on coalesced batch size (>= 1).
+        max_wait_ms: how long the worker lingers for companions after
+            the first request of a batch arrives. ``0`` disables
+            lingering — each batch is whatever is already queued.
+    """
+
+    def __init__(self, compiled, executor, max_batch_size: int = 8,
+                 max_wait_ms: float = 2.0, name: Optional[str] = None):
+        if max_batch_size < 1:
+            raise ServingError(f"max_batch_size must be >= 1, "
+                               f"got {max_batch_size}")
+        self.compiled = compiled
+        self.executor = executor
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.name = name or compiled.name
+        # SimpleQueue: C-implemented put/get, no task-tracking locks —
+        # the queue is traversed twice per request on the serving path
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._stats = BatcherStats()
+        self._stats_lock = threading.Lock()
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._loop, name=f"batcher-{self.name}", daemon=True)
+        self._thread.start()
+
+    # -- client side ---------------------------------------------------------
+
+    def submit(self, feeds: Dict[str, np.ndarray]) -> InferenceFuture:
+        """Enqueue one single-sample request (leading batch dim 1).
+
+        Arrays without the batch dimension are accepted and reshaped.
+        """
+        if self._stopping:
+            raise ServingError(f"{self.name}: batcher is shut down")
+        normalized = {}
+        for name in self.compiled.input_names:
+            if name not in feeds:
+                raise ServingError(f"{self.name}: missing input {name!r}")
+            arr = np.asarray(feeds[name])
+            expected = tuple(self.compiled.buffers[name].ttype.shape)
+            if arr.shape == expected[1:]:
+                arr = arr[None, ...]
+            if arr.shape != (1,) + expected[1:]:
+                raise ServingError(
+                    f"{self.name}: input {name!r} expected "
+                    f"{(1,) + expected[1:]}, got {arr.shape}")
+            normalized[name] = arr
+        fut = InferenceFuture()
+        self._queue.put(_Request(normalized, fut, time.monotonic()))
+        return fut
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> BatcherStats:
+        """A consistent copy of the running counters."""
+        with self._stats_lock:
+            snap = BatcherStats(**{
+                f.name: getattr(self._stats, f.name)
+                for f in self._stats.__dataclass_fields__.values()})
+            snap.batch_size_counts = dict(self._stats.batch_size_counts)
+        return snap
+
+    def stop(self, wait: bool = True, timeout: float = 30.0):
+        """Graceful shutdown: drain queued requests, then exit.
+
+        New submissions are rejected immediately; requests already
+        queued are still executed (in maximal batches) before the
+        worker exits.
+        """
+        if not self._stopping:
+            self._stopping = True
+            self._queue.put(_STOP)
+        if wait:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise ServingError(
+                    f"{self.name}: batcher failed to drain within "
+                    f"{timeout}s")
+
+    # -- worker side ---------------------------------------------------------
+
+    def _loop(self):
+        stop_seen = False
+        while not stop_seen:
+            head = self._queue.get()
+            if head is _STOP:
+                break
+            batch = [head]
+            deadline = time.monotonic() + self.max_wait_ms / 1e3
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                try:
+                    nxt = (self._queue.get_nowait() if remaining <= 0
+                           else self._queue.get(timeout=remaining))
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    stop_seen = True
+                    break
+                batch.append(nxt)
+            self._run_batch(batch)
+        # drain whatever raced in between the sentinel and shutdown
+        leftovers: List[_Request] = []
+        while True:
+            try:
+                req = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if req is not _STOP:
+                leftovers.append(req)
+        for i in range(0, len(leftovers), self.max_batch_size):
+            self._run_batch(leftovers[i:i + self.max_batch_size])
+
+    def _run_batch(self, batch: List[_Request]):
+        t0 = time.monotonic()
+        try:
+            feeds = {
+                name: np.concatenate([r.feeds[name] for r in batch], axis=0)
+                for name in self.compiled.input_names
+            }
+            result = self.executor.run_batch(self.compiled, feeds)
+        except BaseException as exc:  # resolve futures, keep serving
+            with self._stats_lock:
+                self._stats.errors += len(batch)
+                self._stats.batches += 1
+            for r in batch:
+                r.future._fail(exc)
+            return
+        t1 = time.monotonic()
+        cycles = result.perf.total_cycles
+        with self._stats_lock:
+            s = self._stats
+            s.requests += len(batch)
+            s.batches += 1
+            s.exec_s_total += t1 - t0
+            s.cycles_per_inference = cycles
+            s.batch_size_counts[len(batch)] = \
+                s.batch_size_counts.get(len(batch), 0) + 1
+            for r in batch:
+                wall = t1 - r.t_enqueue
+                s.wall_s_total += wall
+                s.wall_s_max = max(s.wall_s_max, wall)
+        for i, r in enumerate(batch):
+            r.future.wall_s = t1 - r.t_enqueue
+            r.future.cycles = cycles
+            r.future.batch_size = len(batch)
+            r.future._resolve(result.outputs[i:i + 1])

@@ -1,0 +1,243 @@
+"""Multi-model inference server over compiled artifacts.
+
+:class:`InferenceServer` hosts many compiled deployments concurrently:
+
+* a **model registry** keyed by ``name@deployment-fingerprint`` —
+  compile config + platform — so the same network compiled under two
+  configs (or for two accelerator sets) serves as two models,
+  LRU-bounded by ``capacity`` — registering beyond capacity evicts and
+  drains the least-recently-used model's batcher;
+* one :class:`~repro.serve.batcher.DynamicBatcher` per model,
+  coalescing queued requests up to ``max_batch_size``/``max_wait_ms``
+  and executing them through the vectorized fast executor;
+* per-model latency / throughput / queue-depth statistics and a
+  graceful :meth:`shutdown` that drains every queue.
+
+Models come from ``.dna`` artifacts (:meth:`register_artifact` — no
+compilation on the serving path) or directly from a
+:class:`~repro.core.program.CompiledModel` (:meth:`register_model`,
+for in-process use). Bare model names resolve to the most recently
+registered entry with that name, so callers can say ``"resnet8"``
+without knowing the config fingerprint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.program import CompiledModel
+from ..errors import ServingError
+from ..runtime import Executor
+from ..soc import latency_ms
+from .artifact import LoadedArtifact, load_artifact
+from .batcher import DynamicBatcher, InferenceFuture
+
+
+@dataclass
+class ServerConfig:
+    """Serving knobs shared by every hosted model."""
+
+    capacity: int = 8            #: max resident models (LRU-evicted)
+    max_batch_size: int = 8      #: dynamic-batch upper bound
+    max_wait_ms: float = 2.0     #: batch linger after first request
+    exec_mode: str = "fast"      #: executor mode for served inferences
+
+
+class _ServedModel:
+    """One registry entry: deployment + its batcher."""
+
+    def __init__(self, key: str, compiled: CompiledModel, soc,
+                 cfg: ServerConfig):
+        self.key = key
+        self.compiled = compiled
+        self.soc = soc
+        self.batcher = DynamicBatcher(
+            compiled, Executor(soc, exec_mode=cfg.exec_mode),
+            max_batch_size=cfg.max_batch_size,
+            max_wait_ms=cfg.max_wait_ms, name=key)
+
+
+class InferenceServer:
+    """Thread-based multi-model serving front end.
+
+    Usable as a context manager; exit drains and stops every batcher::
+
+        with InferenceServer() as server:
+            key = server.register_artifact("resnet8.dna")
+            out = server.infer(key, feeds, timeout=30)
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None, **overrides):
+        if config is None:
+            config = ServerConfig(**overrides)
+        elif overrides:
+            raise ServingError("pass either a ServerConfig or keyword "
+                               "overrides, not both")
+        if config.capacity < 1:
+            raise ServingError("server capacity must be >= 1")
+        self.config = config
+        self._models: "OrderedDict[str, _ServedModel]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._shutdown = False
+        self._t_start = time.monotonic()
+        self._evicted: List[str] = []
+
+    # -- registry ------------------------------------------------------------
+
+    def register_model(self, compiled: CompiledModel, soc,
+                       fingerprint: Optional[str] = None) -> str:
+        """Host an in-process compiled model; returns its registry key.
+
+        ``fingerprint`` defaults to the model's content fingerprint —
+        artifacts pass their deployment fingerprint (config + platform)
+        instead so the key is stable across packs of the same config.
+        """
+        fp = fingerprint or compiled.fingerprint()
+        key = f"{compiled.name}@{fp[:12]}"
+        evict: List[_ServedModel] = []
+        with self._lock:
+            if self._shutdown:
+                raise ServingError("server is shut down")
+            if key in self._models:
+                self._models.move_to_end(key)
+                return key
+            self._models[key] = _ServedModel(key, compiled, soc, self.config)
+            while len(self._models) > self.config.capacity:
+                old_key, served = self._models.popitem(last=False)
+                self._evicted.append(old_key)
+                evict.append(served)
+        for served in evict:  # drain outside the lock
+            served.batcher.stop(wait=True)
+        return key
+
+    def register_artifact(self, artifact, *args, **kwargs) -> str:
+        """Host a packed deployment; accepts a path or a
+        :class:`~repro.serve.artifact.LoadedArtifact`."""
+        if not isinstance(artifact, LoadedArtifact):
+            artifact = load_artifact(artifact)
+        return self.register_model(
+            artifact.model, artifact.soc,
+            fingerprint=artifact.deployment_fingerprint, *args, **kwargs)
+
+    def models(self) -> List[str]:
+        """Registry keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._models)
+
+    def _lookup(self, model: str, touch: bool) -> _ServedModel:
+        """Resolve a key or bare name; ``touch`` refreshes LRU order."""
+        with self._lock:
+            if self._shutdown:
+                raise ServingError("server is shut down")
+            key = model if model in self._models else next(
+                (k for k in reversed(self._models)
+                 if k.split("@", 1)[0] == model), None)
+            if key is not None:
+                if touch:
+                    self._models.move_to_end(key)
+                return self._models[key]
+        evicted = [k for k in self._evicted
+                   if k == model or k.split("@", 1)[0] == model]
+        hint = (" (evicted from the LRU registry)" if evicted else "")
+        raise ServingError(
+            f"unknown model {model!r}{hint}; "
+            f"registered: {self.models() or 'none'}")
+
+    def _resolve(self, model: str) -> _ServedModel:
+        return self._lookup(model, touch=True)
+
+    # -- serving -------------------------------------------------------------
+
+    def submit(self, model: str,
+               feeds: Dict[str, np.ndarray]) -> InferenceFuture:
+        """Queue one request; returns immediately with a future."""
+        return self._resolve(model).batcher.submit(feeds)
+
+    def infer(self, model: str, feeds: Dict[str, np.ndarray],
+              timeout: Optional[float] = 60.0) -> np.ndarray:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(model, feeds).result(timeout)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self, model: Optional[str] = None) -> Dict[str, Dict]:
+        """Per-model serving statistics.
+
+        Keys: ``requests``, ``batches``, ``errors``,
+        ``mean_batch_size``, ``mean_wall_ms``, ``max_wall_ms``,
+        ``queue_depth``, ``modeled_ms_per_inference``,
+        ``throughput_rps`` (served requests over server uptime) and the
+        coalesced ``batch_size_counts`` histogram.
+        """
+        if model is not None:
+            served = self._lookup(model, touch=False)
+            entries = {served.key: served}
+        else:
+            with self._lock:
+                entries = dict(self._models)
+        uptime = max(time.monotonic() - self._t_start, 1e-9)
+        out: Dict[str, Dict] = {}
+        for key, served in entries.items():
+            s = served.batcher.stats()
+            out[key] = {
+                "requests": s.requests,
+                "batches": s.batches,
+                "errors": s.errors,
+                "mean_batch_size": round(s.mean_batch_size, 3),
+                "mean_wall_ms": round(s.mean_wall_ms, 3),
+                "max_wall_ms": round(1e3 * s.wall_s_max, 3),
+                "queue_depth": served.batcher.queue_depth,
+                "modeled_ms_per_inference": (
+                    None if s.cycles_per_inference is None else
+                    round(latency_ms(s.cycles_per_inference,
+                                     served.soc.params), 4)),
+                "throughput_rps": round(s.requests / uptime, 2),
+                "batch_size_counts": dict(sorted(
+                    s.batch_size_counts.items())),
+            }
+        return out
+
+    def format_stats(self) -> str:
+        """The stats table the CLI prints."""
+        from ..mapping import format_columns
+
+        stats = self.stats()
+        headers = ["model", "req", "batches", "mean batch", "mean ms",
+                   "max ms", "queue", "model ms", "req/s"]
+        rows = []
+        for key, s in stats.items():
+            rows.append([
+                key, str(s["requests"]), str(s["batches"]),
+                f"{s['mean_batch_size']:.2f}", f"{s['mean_wall_ms']:.2f}",
+                f"{s['max_wall_ms']:.2f}", str(s["queue_depth"]),
+                "-" if s["modeled_ms_per_inference"] is None
+                else f"{s['modeled_ms_per_inference']:.3f}",
+                f"{s['throughput_rps']:.1f}",
+            ])
+        return format_columns(headers, rows)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True):
+        """Stop accepting work and drain every batcher (idempotent)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            entries = list(self._models.values())
+            self._models.clear()
+        for served in entries:
+            served.batcher.stop(wait=wait)
+
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown(wait=True)
+        return False

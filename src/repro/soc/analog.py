@@ -133,20 +133,35 @@ class AnalogAccelerator:
         if spec.kind == "add":
             if y is None:
                 raise SimulationError("add layer needs two operands")
-            acc = K.add(x, y)
-        else:
-            acc = self.accumulate(spec, x, w, padding)
-        return self.finalize(spec, acc, bias)
-
-    def accumulate(self, spec: LayerSpec, x: np.ndarray, w: np.ndarray,
-                   padding: Optional[Tuple[int, int]] = None) -> np.ndarray:
-        """int32 partial sums of one MAC tile (7-bit inputs, ternary w)."""
+            return self.finalize(spec, K.add(x, y), bias)
         pad = spec.padding if padding is None else padding
+        self._check_operands(x, w)
+        if spec.kind == "conv2d":
+            acc = K.conv2d_acc(x, w, spec.strides, pad, 1)
+            reduction = w.shape[1] * w.shape[2] * w.shape[3]
+        elif spec.kind == "dense":
+            acc = K.dense_acc(x, w)
+            reduction = x.shape[-1]
+        else:
+            raise SimulationError(f"analog: no MAC path for kind {spec.kind}")
+        lo, hi = (-64, 63) if spec.out_dtype == "int7" else (-128, 127)
+        # |int7 x ternary| <= 2**14 per MAC (loose but safe bound)
+        return K.requantize_acc(acc, bias, spec.shift, spec.relu, lo, hi,
+                                acc_bound=reduction << 14)
+
+    def _check_operands(self, x: np.ndarray, w: Optional[np.ndarray]):
+        """Range-check operands against the 7-bit/ternary datapath."""
         if x.min() < -64 or x.max() > 63:
             raise SimulationError(
                 f"analog input exceeds 7-bit range: [{x.min()}, {x.max()}]")
         if w is not None and (w.min() < -1 or w.max() > 1):
             raise SimulationError("analog weights must be ternary")
+
+    def accumulate(self, spec: LayerSpec, x: np.ndarray, w: np.ndarray,
+                   padding: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """int32 partial sums of one MAC tile (7-bit inputs, ternary w)."""
+        pad = spec.padding if padding is None else padding
+        self._check_operands(x, w)
         if spec.kind == "conv2d":
             return K.conv2d(x, w, spec.strides, pad, 1)
         if spec.kind == "dense":

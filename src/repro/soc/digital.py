@@ -159,11 +159,28 @@ class DigitalAccelerator:
         ``x`` is the input tile (NCHW or NC), ``y`` the second operand
         for ``add`` layers. ``padding`` overrides the spec padding (tile
         interiors are not padded).
+
+        MAC layers keep the raw accumulator in its exact MAC dtype and
+        requantize through :func:`repro.numerics.requantize_acc` — the
+        int32 bounce only happens when exactness is not provable. Tiled
+        partial-sum execution (:meth:`accumulate`/:meth:`finalize`)
+        still materializes int32 L1 tiles, as the hardware does.
         """
         if spec.kind == "add":
             if y is None:
                 raise SimulationError("add layer needs two operands")
-            acc = K.add(x, y)
+            return self.finalize(spec, K.add(x, y), bias)
+        pad = spec.padding if padding is None else padding
+        if spec.kind in ("conv2d", "dwconv2d"):
+            groups = x.shape[1] if spec.is_depthwise else 1
+            acc = K.conv2d_acc(x, w, spec.strides, pad, groups)
+            reduction = w.shape[1] * w.shape[2] * w.shape[3]
+        elif spec.kind == "dense":
+            acc = K.dense_acc(x, w)
+            reduction = x.shape[-1]
         else:
-            acc = self.accumulate(spec, x, w, padding)
-        return self.finalize(spec, acc, bias)
+            raise SimulationError(f"digital: no MAC path for kind {spec.kind}")
+        lo, hi = (-128, 127) if spec.out_dtype != "int7" else (-64, 63)
+        # |int8 x int8| <= 2**14 per MAC: reduction << 14 bounds |acc|
+        return K.requantize_acc(acc, bias, spec.shift, spec.relu, lo, hi,
+                                acc_bound=reduction << 14)

@@ -6,7 +6,11 @@ import numpy as np
 import pytest
 
 from repro.errors import IRError
-from repro.ir import graph_from_dict, graph_to_dict, load_graph, save_graph
+from repro.frontend.modelzoo import MLPERF_TINY
+from repro.ir import (
+    Call, Composite, Constant, Var, graph_digest, graph_from_dict,
+    graph_to_dict, load_graph, save_graph,
+)
 from repro.patterns import default_specs, partition
 from repro.runtime import random_inputs, run_reference
 from helpers import build_small_cnn
@@ -70,3 +74,58 @@ class TestRoundTrip:
         feeds = random_inputs(g, seed=2)
         np.testing.assert_array_equal(
             run_reference(g, feeds), run_reference(g2, feeds))
+
+
+def assert_graphs_structurally_equal(a, b):
+    """Node-by-node equality: kinds, ops, attrs, types and weights."""
+    na, nb = a.topo_order(), b.topo_order()
+    assert len(na) == len(nb)
+    for x, y in zip(na, nb):
+        assert type(x) is type(y)
+        assert x.ttype.shape == y.ttype.shape
+        assert x.dtype.name == y.dtype.name
+        if isinstance(x, Var):
+            assert x.name == y.name
+        elif isinstance(x, Constant):
+            assert x.value.data.dtype == y.value.data.dtype
+            np.testing.assert_array_equal(x.value.data, y.value.data)
+        elif isinstance(x, Call):
+            assert x.op == y.op
+            assert x.attrs == y.attrs
+        elif isinstance(x, Composite):
+            assert x.pattern_name == y.pattern_name
+            assert x.target == y.target
+            assert_graphs_structurally_equal(x.body, y.body)
+
+
+class TestModelZooRoundTrip:
+    """Every zoo graph round-trips the on-disk format exactly — the
+    foundation the serving artifact store builds on."""
+
+    @pytest.mark.parametrize("name", sorted(MLPERF_TINY))
+    @pytest.mark.parametrize("precision", ["int8", "mixed"])
+    def test_zoo_graph_roundtrip(self, name, precision):
+        g = MLPERF_TINY[name](precision=precision)
+        g2 = roundtrip(g)
+        assert_graphs_structurally_equal(g, g2)
+        assert g2.name == g.name
+        assert g2.total_macs() == g.total_macs()
+        assert g2.weight_bytes() == g.weight_bytes()
+
+    @pytest.mark.parametrize("name", sorted(MLPERF_TINY))
+    def test_zoo_partitioned_roundtrip(self, name):
+        g = partition(MLPERF_TINY[name](precision="mixed"), default_specs())
+        g2 = roundtrip(g)
+        assert_graphs_structurally_equal(g, g2)
+        feeds = random_inputs(g, seed=7)
+        np.testing.assert_array_equal(
+            run_reference(g, feeds), run_reference(g2, feeds))
+
+    @pytest.mark.parametrize("name", sorted(MLPERF_TINY))
+    def test_zoo_digest_stable_across_roundtrip(self, name):
+        g = MLPERF_TINY[name]()
+        assert graph_digest(g) == graph_digest(roundtrip(g))
+
+    def test_digest_distinguishes_models(self):
+        digests = {graph_digest(fn()) for fn in MLPERF_TINY.values()}
+        assert len(digests) == len(MLPERF_TINY)
