@@ -22,11 +22,21 @@ persists them across invocations (a warm run skips every DORY search)
 and ``--no-cache`` disables memoization. ``table1``/``fig4`` accept
 ``--jobs N`` to evaluate independent cells/points concurrently.
 
-``run``/``table1``/``fig4`` accept ``--exec-mode {tiled,fast}``:
-``tiled`` simulates every DORY tile (the verification mode), ``fast``
-computes full layers at once — byte-identical outputs, identical cycle
-counts, much lower wall-clock. ``run --batch N`` simulates a batch of
-inferences through the batched runtime.
+``run``/``table1``/``fig4`` accept ``--exec-mode
+{tiled,fast,depthfirst}``: ``tiled`` simulates every DORY tile (the
+verification mode), ``fast`` computes full layers at once —
+byte-identical outputs, identical cycle counts, much lower wall-clock —
+and ``depthfirst`` runs the model's fused patch-based chains
+(byte-identical outputs; cycles price the halo recompute). ``run
+--batch N`` simulates a batch of inferences through the batched
+runtime.
+
+``compile``/``run``/``pack``/``serve`` accept ``--depthfirst
+{auto,on,off}`` to plan fused depth-first conv chains (MCUNetV2-style
+patch execution; see docs/DEPTHFIRST.md), and ``repro df [MODEL ...]``
+prints the measured schedule report (adopted chains, arena/L2-peak
+reduction, cycle overhead, bit-exactness) — ``--l2-kb`` shrinks L2 to
+exercise the memory-constrained scenario.
 
 ``map`` prints the mapping decision table (per-layer candidates,
 costs, rejection reasons) for one model, or sweeps the latency/energy
@@ -85,6 +95,8 @@ def _setup(config: str, args=None):
     precision, soc_kwargs, cfg = CONFIGS[config]
     if args is not None and getattr(args, "mapping", None):
         cfg = cfg.with_overrides(mapping_strategy=args.mapping)
+    if args is not None and getattr(args, "depthfirst", None):
+        cfg = cfg.with_overrides(depthfirst=args.depthfirst)
     return precision, DianaSoC(**soc_kwargs), cfg
 
 
@@ -251,6 +263,26 @@ def cmd_map(args) -> int:
     print(format_plan(plan))
     _print_cache_stats()
     return 0
+
+
+def cmd_df(args) -> int:
+    from .eval.depthfirst import (
+        format_depthfirst_reports, run_depthfirst_reports,
+    )
+
+    models = args.models or None
+    for m in args.models:
+        if m not in MLPERF_TINY:
+            print(f"error: unknown model {m!r}; have {sorted(MLPERF_TINY)}",
+                  file=sys.stderr)
+            return 2
+    reports = run_depthfirst_reports(
+        models=models, config=args.config, mode=args.depthfirst,
+        l1_budget=args.l1_kb * 1024 if args.l1_kb else None,
+        l2_bytes=args.l2_kb * 1024 if args.l2_kb else None)
+    print(format_depthfirst_reports(reports))
+    _print_cache_stats()
+    return 0 if all(r.bit_exact for r in reports) else 1
 
 
 def cmd_sweep(args) -> int:
@@ -547,6 +579,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "per layer) or 'dp' (global cost-driven "
                             "search)")
 
+    def add_depthfirst_arg(p, default=None):
+        p.add_argument("--depthfirst", choices=["auto", "on", "off"],
+                       default=default,
+                       help="fused depth-first (patch-based) conv-chain "
+                            "schedules: 'auto' engages only when the "
+                            "activation arena exceeds the L2 budget, "
+                            "'on' fuses every eligible chain "
+                            "(see docs/DEPTHFIRST.md)")
+
     sub.add_parser("models", help="list the model zoo").set_defaults(
         fn=cmd_models)
 
@@ -557,7 +598,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dot", help="write a Graphviz rendering here")
     add_cache_args(p)
     add_mapping_arg(p)
+    add_depthfirst_arg(p)
     p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "df", help="depth-first (patch-based) schedule report")
+    p.add_argument("models", nargs="*",
+                   help="zoo models (default: the whole zoo)")
+    p.add_argument("--config", choices=list(CONFIGS), default="digital")
+    p.add_argument("--depthfirst", choices=["auto", "on"], default="on",
+                   help="planning mode to report (default: %(default)s)")
+    p.add_argument("--l1-kb", type=int, default=None,
+                   help="Eq. 2 tiling budget override in kB")
+    p.add_argument("--l2-kb", type=int, default=None,
+                   help="shrink the platform L2 to this many kB "
+                        "(exercises the memory-constrained scenario)")
+    add_cache_args(p)
+    p.set_defaults(fn=cmd_df)
 
     p = sub.add_parser(
         "map", help="print the mapping decision table / Pareto sweep")
@@ -579,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="MAPPING_DSE.json",
                    help="artifact path for --pareto (default: %(default)s)")
     add_cache_args(p)
+    add_depthfirst_arg(p)
     p.set_defaults(fn=cmd_map)
 
     p = sub.add_parser(
@@ -607,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(p)
     add_exec_mode_arg(p)
     add_mapping_arg(p)
+    add_depthfirst_arg(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -620,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "time (0 skips; default: %(default)s)")
     add_cache_args(p)
     add_mapping_arg(p)
+    add_depthfirst_arg(p)
     p.set_defaults(fn=cmd_pack)
 
     p = sub.add_parser(
@@ -657,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     add_cache_args(p)
     add_mapping_arg(p)
+    add_depthfirst_arg(p)
     add_exec_mode_arg(p, default="fast")
     p.set_defaults(fn=cmd_serve)
 

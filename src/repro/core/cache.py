@@ -40,6 +40,7 @@ import atexit
 import json
 import os
 import sys
+import tempfile
 import threading
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -231,7 +232,16 @@ class TilingCache:
                       f"{self.path}: {exc}", file=sys.stderr)
 
     def save(self, path: Optional[str] = None):
-        """Write all entries as a JSON list of ``{key, entry}`` records."""
+        """Atomically write all entries as ``{key, entry}`` records.
+
+        The snapshot goes to a uniquely-named temporary file in the
+        target directory and is moved into place with :func:`os.replace`,
+        so a reader (or a concurrent writer in another process or
+        another cache instance of this process) never observes a
+        partially-written or interleaved file — the worst outcome of a
+        concurrent flush race is last-writer-wins on a *complete*
+        snapshot, which :meth:`load` tolerates by design.
+        """
         path = path or self.path
         if not path:
             raise ValueError("TilingCache has no backing path")
@@ -245,10 +255,18 @@ class TilingCache:
                 in_snapshot = self._dirty
             parent = os.path.dirname(os.path.abspath(path))
             os.makedirs(parent, exist_ok=True)
-            tmp = f"{path}.{os.getpid()}.tmp"
-            with open(tmp, "w") as f:
-                json.dump({"version": 1, "entries": records}, f)
-            os.replace(tmp, path)
+            fd, tmp = tempfile.mkstemp(
+                dir=parent, prefix=os.path.basename(path) + ".", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as f:
+                    json.dump({"version": 1, "entries": records}, f)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
             with self._lock:
                 # entries added during the write stay dirty
                 self._dirty -= min(in_snapshot, self._dirty)
@@ -264,7 +282,10 @@ class TilingCache:
                 payload = json.load(f)
             loaded = {_freeze(rec["key"]): rec["entry"]
                       for rec in payload.get("entries", [])}
-        except (OSError, ValueError, KeyError, TypeError) as exc:
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError) as exc:
+            # a corrupt/truncated/alien file must never fail a compile:
+            # start cold instead (the cache is a performance layer)
             print(f"warning: ignoring unreadable tiling cache {path}: "
                   f"{exc}", file=sys.stderr)
             return

@@ -23,7 +23,7 @@ from ..codegen.runtime_glue import emit_network
 from ..mapping import layer_spec_of, plan_mapping
 from ..dory.codegen import emit_accel_layer
 from ..dory.heuristics import heuristic_set_for
-from ..dory.memory_plan import lifetimes_from_steps, plan_memory
+from ..dory.memory_plan import TensorLife, lifetimes_from_steps, plan_memory
 from ..dory.tiler import DoryTiler
 from ..errors import CodegenError, OutOfMemoryError
 from ..ir import Composite, Graph, Var
@@ -134,11 +134,62 @@ def compile_model(graph: Graph, soc: DianaSoC,
     # ---- L2 planning --------------------------------------------------------
     step_io = [(s.input_names, s.output_name) for s in steps]
     sizes = {name: buf.size_bytes for name, buf in buffers.items()}
-    lifetimes = lifetimes_from_steps(
-        step_io, sizes, [v.name for v in graph.inputs], output_name)
+    input_names = [v.name for v in graph.inputs]
+    lifetimes = lifetimes_from_steps(step_io, sizes, input_names, output_name)
     plan = plan_memory(lifetimes, reuse=config.buffer_reuse)
 
     size = compute_size(steps, soc.params, runtime=config.runtime)
+
+    # ---- depth-first fused schedules ---------------------------------------
+    df_chains: List = []
+    if config.depthfirst != "off" and config.offload and soc.accelerators:
+        from ..extensions.depthfirst import plan_depthfirst_steps
+
+        budget = soc.params.l2_bytes - size.total
+        df_chains = plan_depthfirst_steps(
+            steps, output_name, budget, mode=config.depthfirst,
+            arena_bytes=plan.arena_bytes)
+        if df_chains:
+            # re-plan L2: chain interiors shrink to patch slabs, while
+            # the chain input/output must stay live across the whole
+            # fused schedule (every patch reads the input and writes
+            # the output), so their lifetimes widen to the chain span.
+            df_sizes = dict(sizes)
+            for ch in df_chains:
+                for j in range(ch.length - 1):
+                    name = steps[ch.start + j].output_name
+                    df_sizes[name] = min(df_sizes[name],
+                                         ch.per_layer_patch_bytes[j])
+            entries = {e.name: e for e in lifetimes_from_steps(
+                step_io, df_sizes, input_names, output_name)}
+            for ch in df_chains:
+                last = ch.start + ch.length - 1
+                produced = {s.output_name
+                            for s in steps[ch.start:ch.start + ch.length]}
+                # every external operand — the chain input AND any
+                # interior residual add's skip — is read per patch
+                # until the chain completes, so it must outlive the
+                # whole span, not just its consuming step
+                for step in steps[ch.start:ch.start + ch.length]:
+                    for name in step.input_names:
+                        if name in produced:
+                            continue
+                        e = entries[name]
+                        entries[name] = TensorLife(
+                            e.name, e.size, e.start, max(e.end, last))
+                e = entries[steps[last].output_name]
+                entries[steps[last].output_name] = TensorLife(
+                    e.name, e.size, min(e.start, ch.start), e.end)
+            df_plan = plan_memory(list(entries.values()),
+                                  reuse=config.buffer_reuse)
+            if df_plan.arena_bytes < plan.arena_bytes:
+                plan = df_plan
+            else:
+                # the chains shrank their own residency but the arena
+                # peak lives elsewhere: recompute would cost cycles for
+                # zero L2 benefit, so fall back to layer-by-layer
+                df_chains = []
+
     if config.check_l2 and size.total + plan.arena_bytes > soc.params.l2_bytes:
         raise OutOfMemoryError(
             f"{graph.name} [{config.name}]: image {size.total} B + "
@@ -155,4 +206,5 @@ def compile_model(graph: Graph, soc: DianaSoC,
         buffers=buffers, input_names=[v.name for v in graph.inputs],
         output_name=output_name, memory_plan=plan, size=size,
         c_sources=kernel_sources, dispatch_decisions=decisions, graph=graph,
+        depthfirst_chains=df_chains,
     )

@@ -46,6 +46,13 @@ class CompilerConfig:
             objective (0 = pure latency, 1 = pure energy).
         mapping_beam_width: beam width of the global search on
             branching graphs (linear chains are solved exactly).
+        depthfirst: depth-first (patch-based, MCUNetV2-style) fused
+            schedules for conv chains — ``"off"`` (default, the
+            historical layer-by-layer flow), ``"auto"`` (fuse chains
+            only when the layer-by-layer activation arena exceeds the
+            L2 budget: an out-of-memory rescue) or ``"on"`` (fuse every
+            eligible chain; benchmark/DSE mode). See
+            :mod:`repro.extensions.depthfirst` and docs/DEPTHFIRST.md.
     """
 
     name: str = "htvm"
@@ -61,6 +68,7 @@ class CompilerConfig:
     mapping_objective: str = "latency"
     mapping_weight: float = 0.5
     mapping_beam_width: int = 8
+    depthfirst: str = "off"
 
     def with_overrides(self, **kwargs) -> "CompilerConfig":
         return replace(self, **kwargs)

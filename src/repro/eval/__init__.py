@@ -1,6 +1,13 @@
 """Evaluation harness: Tables I-II and Figs. 4-5 of the paper."""
 
-from . import fig4, fig5, layer_report, mapping_dse, paper, sota, sweep, timeline
+from . import (
+    depthfirst, fig4, fig5, layer_report, mapping_dse, paper, sota, sweep,
+    timeline,
+)
+from .depthfirst import (
+    DepthFirstReport, depthfirst_report, format_depthfirst_reports,
+    run_depthfirst_reports,
+)
 from .harness import (
     CONFIGS, DeploymentResult, deploy, deploy_artifact,
     format_table1, run_table1,
@@ -9,8 +16,10 @@ from .harness import (
 from .tables import format_table
 
 __all__ = [
-    "fig4", "fig5", "layer_report", "mapping_dse", "paper", "sota", "sweep",
-    "timeline",
+    "depthfirst", "fig4", "fig5", "layer_report", "mapping_dse", "paper",
+    "sota", "sweep", "timeline",
+    "DepthFirstReport", "depthfirst_report", "format_depthfirst_reports",
+    "run_depthfirst_reports",
     "CONFIGS", "DeploymentResult", "deploy", "deploy_artifact",
     "format_table1", "run_table1",
     "summarize_claims", "format_table",

@@ -81,6 +81,7 @@ def deploy(model: str, config: str,
            seed: int = 0,
            exec_mode: str = "tiled",
            mapping: Optional[str] = None,
+           depthfirst: Optional[str] = None,
            validate: Optional[bool] = None) -> DeploymentResult:
     """Compile + simulate one MLPerf Tiny model in one configuration.
 
@@ -88,11 +89,14 @@ def deploy(model: str, config: str,
     accelerator layers: ``"tiled"`` (default) executes every DORY tile
     and is the verification mode; ``"fast"`` computes full layers in
     one kernel call with byte-identical outputs and identical cycle
-    counts (see :class:`~repro.runtime.Executor`).
+    counts; ``"depthfirst"`` additionally runs the model's fused
+    patch-based chains (see :class:`~repro.runtime.Executor`).
 
     ``mapping`` overrides the configuration's
     ``CompilerConfig.mapping_strategy`` (``"rules"``, ``"greedy"`` or
-    ``"dp"``); ``None`` keeps the config's own strategy.
+    ``"dp"``); ``None`` keeps the config's own strategy. ``depthfirst``
+    likewise overrides ``CompilerConfig.depthfirst``
+    (``"auto"``/``"on"``/``"off"``).
 
     ``validate`` controls the golden-reference re-check after
     execution. ``None`` (default) follows ``verify`` — the historical
@@ -110,6 +114,8 @@ def deploy(model: str, config: str,
     precision, soc_kwargs, cfg = CONFIGS[config]
     if mapping is not None:
         cfg = cfg.with_overrides(mapping_strategy=mapping)
+    if depthfirst is not None:
+        cfg = cfg.with_overrides(depthfirst=depthfirst)
     graph = MLPERF_TINY[model](precision=precision, seed=seed)
     soc = DianaSoC(params=params, **soc_kwargs)
 

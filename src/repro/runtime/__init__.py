@@ -1,9 +1,12 @@
 """Runtime: reference interpreter, numeric kernels, SoC executor."""
 
-from .cost import accumulate_accel_cost, cost_layer
+from .cost import (
+    accumulate_accel_cost, accumulate_depthfirst_cost, cost_layer,
+    cost_layer_depthfirst,
+)
 from .executor import (
     EXEC_MODES, BatchExecutionResult, ExecutionResult, Executor,
-    execute_layer_fast, execute_layer_tiled,
+    execute_chain_depth_first, execute_layer_fast, execute_layer_tiled,
 )
 from .reference import (
     CompiledPlan, compile_plan, random_inputs, random_inputs_batched,
@@ -13,8 +16,9 @@ from .validate import ValidationReport, validate_deployment
 
 __all__ = [
     "EXEC_MODES", "BatchExecutionResult", "ExecutionResult", "Executor",
-    "accumulate_accel_cost", "cost_layer",
-    "execute_layer_fast", "execute_layer_tiled",
+    "accumulate_accel_cost", "accumulate_depthfirst_cost",
+    "cost_layer", "cost_layer_depthfirst",
+    "execute_chain_depth_first", "execute_layer_fast", "execute_layer_tiled",
     "CompiledPlan", "compile_plan",
     "random_inputs", "random_inputs_batched",
     "run_reference", "run_reference_batched",

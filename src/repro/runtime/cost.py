@@ -83,3 +83,35 @@ def cost_layer(spec: LayerSpec, sol: TilingSolution, accel,
     rec = perf.start_kernel(spec.name, accel.name, macs=spec.macs())
     accumulate_accel_cost(rec, accel, spec, sol, params)
     return rec
+
+
+def accumulate_depthfirst_cost(rec: KernelRecord, accel, spec: LayerSpec,
+                               sol: TilingSolution, params: DianaParams,
+                               recompute_ratio: float, num_patches: int):
+    """Charge one layer of a fused depth-first chain.
+
+    The layer still executes its DORY tiling per patch, so the base
+    charge is the standard :func:`accumulate_accel_cost`; the halo
+    overlap between patches is then priced by scaling the compute and
+    activation-DMA categories with the layer's exact patched/nominal
+    MAC ratio. Weights are charged once — chain layers are early
+    high-resolution stages whose filters stay resident across patches —
+    and each patch pays one host-side loop iteration on top.
+    """
+    accumulate_accel_cost(rec, accel, spec, sol, params)
+    extra = max(0.0, recompute_ratio - 1.0)
+    if extra:
+        rec.add("accel_compute", extra * rec.cycles.get("accel_compute", 0.0))
+        rec.add("act_dma", extra * rec.cycles.get("act_dma", 0.0))
+    rec.add("tile_loop", num_patches * params.tile_loop_overhead)
+
+
+def cost_layer_depthfirst(spec: LayerSpec, sol: TilingSolution, accel,
+                          params: DianaParams, recompute_ratio: float,
+                          num_patches: int) -> KernelRecord:
+    """Stand-alone depth-first cost of one chain layer (mapping pricing)."""
+    perf = PerfCounters()
+    rec = perf.start_kernel(spec.name, accel.name, macs=spec.macs())
+    accumulate_depthfirst_cost(rec, accel, spec, sol, params,
+                               recompute_ratio, num_patches)
+    return rec

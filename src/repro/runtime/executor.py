@@ -18,6 +18,18 @@ arithmetic — which permits two execution modes:
   cycle counts exactly equal to tiled mode (int32 accumulation is
   order-independent; the cost path is literally the same code), at a
   fraction of the simulation wall-clock.
+* ``"depthfirst"`` — the explicit mode for models compiled with fused
+  :class:`~repro.core.program.DepthFirstChain` schedules; non-chain
+  steps take the fast path.
+
+Fused chains themselves execute patch by patch with halo recompute in
+*every* mode — they are part of the compiled program (the memory plan
+reserves only patch-sized interior slabs, so layer-by-layer execution
+of a fused model would be unfaithful to its plan): only patch-sized
+intermediates occupy L2 inside a chain, and the chain layers' cycles
+price the recompute factor
+(:func:`~repro.runtime.cost.accumulate_depthfirst_cost`). Outputs stay
+byte-identical to layer-by-layer execution of the same graph.
 
 Fast mode also supports batched (N > 1) inference for throughput
 scenarios: the numeric kernels evaluate the whole batch in one pass
@@ -28,24 +40,27 @@ samples sequentially; batching is a simulator-side vectorization).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
-from ..core.program import AccelStep, CompiledModel, CpuKernelStep
+from ..core.program import (
+    AccelStep, CompiledModel, CpuKernelStep, DepthFirstChain,
+)
 from ..dory.layer_spec import LayerSpec
 from ..dory.tiling_types import Tile, TilingSolution
 from ..errors import SimulationError
+from ..extensions.depthfirst import _backward_ranges, _needed_input_range
 from ..soc.perf import PerfCounters
 from .. import numerics as K
-from .cost import accumulate_accel_cost
+from .cost import accumulate_accel_cost, accumulate_depthfirst_cost
 from .reference import compile_plan
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
     from ..soc.diana import DianaSoC
 
-#: the two functional execution modes of accelerator layers.
-EXEC_MODES = ("tiled", "fast")
+#: the functional execution modes of accelerator layers.
+EXEC_MODES = ("tiled", "fast", "depthfirst")
 
 
 @dataclass
@@ -185,13 +200,80 @@ def execute_layer_fast(accel, spec: LayerSpec, x: np.ndarray,
     return accel.execute(spec, x, spec.weight, spec.bias)
 
 
+def execute_chain_depth_first(accels, specs: List[LayerSpec], x: np.ndarray,
+                              patch_grid,
+                              skips: Optional[List[Optional[np.ndarray]]]
+                              = None) -> np.ndarray:
+    """Patch-based execution of one fused conv chain.
+
+    For every output patch of the last layer, the required input window
+    is traced back through the chain (exact halo propagation with
+    boundary clipping), sliced, and the sub-pyramid recomputed with the
+    *same* accelerator kernels layer-by-layer execution uses — so the
+    result is byte-identical to running each layer in full. Residual
+    zero padding is applied per layer: whatever part of a patch's halo
+    falls outside the tensor is the convolution's own zero border.
+
+    ``skips`` carries, per layer, the resident second operand of a
+    residual ``add`` link (``None`` for conv layers): adds have
+    identity geometry, so the skip is simply read at the patch's own
+    region. Batch-covariant (the batch dimension rides through the
+    kernels).
+    """
+    final = specs[-1]
+    py, px = patch_grid
+    if py < 1 or px < 1 or py > final.oy or px > final.ox:
+        raise SimulationError(f"invalid patch grid {tuple(patch_grid)}")
+    skips = skips or [None] * len(specs)
+    out = np.zeros((x.shape[0], final.out_channels, final.oy, final.ox),
+                   dtype=np.int8)
+    for iy in range(py):
+        y0, y1 = (final.oy * iy) // py, (final.oy * (iy + 1)) // py
+        for ix in range(px):
+            x0, x1 = (final.ox * ix) // px, (final.ox * (ix + 1)) // px
+            if y0 == y1 or x0 == x1:
+                continue
+            ranges = _backward_ranges(specs, (y0, y1), (x0, x1))
+            first = specs[0]
+            in_y = _needed_input_range(
+                ranges[0][0][0], ranges[0][0][1], first.strides[0],
+                first.fy, first.padding[0], first.iy)
+            in_x = _needed_input_range(
+                ranges[0][1][0], ranges[0][1][1], first.strides[1],
+                first.fx, first.padding[1], first.ix)
+            patch = x[:, :, in_y[0]:in_y[1], in_x[0]:in_x[1]]
+            for accel, spec, skip, ((ry0, ry1), (rx0, rx1)) in zip(
+                    accels, specs, skips, ranges):
+                if spec.kind == "add":
+                    ywin = skip[:, :, ry0:ry1, rx0:rx1]
+                    patch = accel.execute(spec, patch, None, spec.bias,
+                                          y=ywin)
+                    continue
+                pt = max(0, -(ry0 * spec.strides[0] - spec.padding[0]))
+                pb = max(0, (ry1 - 1) * spec.strides[0] + spec.fy
+                         - spec.padding[0] - spec.iy)
+                pl = max(0, -(rx0 * spec.strides[1] - spec.padding[1]))
+                pr = max(0, (rx1 - 1) * spec.strides[1] + spec.fx
+                         - spec.padding[1] - spec.ix)
+                padded = K.pad_nchw(patch, ((pt, pb), (pl, pr)))
+                patch = accel.execute(spec, padded, spec.weight, spec.bias,
+                                      padding=(0, 0))
+            out[:, :, y0:y1, x0:x1] = patch
+    return out
+
+
 class Executor:
     """Runs compiled models on a :class:`~repro.soc.diana.DianaSoC`.
 
     ``exec_mode`` selects how accelerator layers are computed:
     ``"tiled"`` (default) executes every DORY tile and is the
     verification mode; ``"fast"`` computes each layer in one full-layer
-    kernel call with identical outputs and cycle counts.
+    kernel call with identical outputs and cycle counts;
+    ``"depthfirst"`` is the explicit mode for fused models (non-chain
+    steps run fast). A model's
+    :class:`~repro.core.program.DepthFirstChain` schedules execute
+    patch by patch in every mode — they are part of the program, and
+    their memory plan only holds patch-sized interior slabs.
     """
 
     def __init__(self, soc: "DianaSoC", exec_mode: str = "tiled"):
@@ -220,7 +302,8 @@ class Executor:
         of every sample is executed).
         """
         batch = self._batch_size(model, feeds)
-        if self.exec_mode == "fast":
+        if self.exec_mode in ("fast", "depthfirst"):
+            # both modes use batch-covariant kernels (chains included)
             outputs, perf, l2_peak = self._execute(model, feeds, batch=batch)
             return BatchExecutionResult(outputs=outputs, perf=perf,
                                         batch=batch, l2_peak_bytes=l2_peak)
@@ -262,8 +345,24 @@ class Executor:
             values[name] = arr
             self._place(l2, model, name, arena_base)
 
+        # fused chains are part of the compiled *program*, not a
+        # simulation knob: their memory plan reserves only patch-slab
+        # interiors, so layer-by-layer execution of a fused model would
+        # place full tensors at slab-packed offsets. They run patch-wise
+        # in every mode; exec_mode selects how everything else runs.
+        chains: Dict[int, DepthFirstChain] = {
+            c.start: c for c in model.depthfirst_chains}
+
         last_use = self._last_use(model)
-        for idx, step in enumerate(model.steps):
+        idx = 0
+        while idx < len(model.steps):
+            chain = chains.get(idx)
+            if chain is not None:
+                l2_peak = max(l2_peak, self._run_chain(
+                    model, chain, values, perf, l2, arena_base, last_use))
+                idx = chain.stop
+                continue
+            step = model.steps[idx]
             self._place(l2, model, step.output_name, arena_base)
             l2_peak = max(l2_peak, l2.high_water)
             args = [values[n] for n in step.input_names]
@@ -276,6 +375,7 @@ class Executor:
             for name in step.input_names:
                 if last_use.get(name) == idx and name != model.output_name:
                     l2.free(name)
+            idx += 1
 
         return values[model.output_name], perf, l2_peak
 
@@ -314,11 +414,93 @@ class Executor:
         model._last_use_cache = out
         return out
 
-    def _place(self, l2, model: CompiledModel, name: str, base: int):
+    def _place(self, l2, model: CompiledModel, name: str, base: int,
+               plan_sized: bool = False):
         offset = model.memory_plan.offsets.get(name)
         if offset is None:
             return
-        l2.place(name, base + offset, model.buffers[name].size_bytes)
+        # depth-first models plan chain intermediates at patch-slab
+        # size; layer-by-layer modes materialize the full tensor, so
+        # they account (and enforce) the full buffer footprint.
+        size = (model.memory_plan.sizes.get(name) if plan_sized else None)
+        if size is None:
+            size = model.buffers[name].size_bytes
+        l2.place(name, base + offset, size)
+
+    def _run_chain(self, model: CompiledModel, chain: DepthFirstChain,
+                   values, perf: PerfCounters, l2, arena_base: int,
+                   last_use) -> int:
+        """Execute one fused depth-first chain; returns its L2 peak.
+
+        L2 accounting mirrors the patch schedule: the chain input and
+        output stay resident for the whole chain while interior slabs
+        ping-pong (slab j coexists only with slab j-1), exactly the
+        co-residency the compile-time plan packed.
+        """
+        steps = model.steps[chain.start:chain.stop]
+        for step in steps:
+            if not isinstance(step, AccelStep):
+                raise SimulationError(
+                    f"{step.name}: depth-first chain over a non-"
+                    "accelerator step")
+        final = steps[-1]
+        self._place(l2, model, final.output_name, arena_base, True)
+        peak = l2.high_water
+        prev = None
+        for step in steps[:-1]:
+            self._place(l2, model, step.output_name, arena_base, True)
+            peak = max(peak, l2.high_water)
+            if prev is not None:
+                l2.free(prev)
+            prev = step.output_name
+        if prev is not None:
+            l2.free(prev)
+
+        for step, ratio in zip(steps, chain.per_layer_recompute):
+            rec = perf.start_kernel(step.name, step.accel_target,
+                                    macs=step.spec.macs())
+            self._chain_cost(step, rec, ratio, chain.num_patches)
+
+        produced = {s.output_name for s in steps}
+        skips: List[Optional[np.ndarray]] = []
+        for j, step in enumerate(steps):
+            if step.spec.kind != "add":
+                skips.append(None)
+                continue
+            tail = steps[j - 1].output_name
+            ins = step.input_names
+            skips.append(values[ins[0] if ins[1] == tail else ins[1]])
+        x = values[steps[0].input_names[0]]
+        out = execute_chain_depth_first(
+            [self.soc.accelerator(s.accel_target) for s in steps],
+            [s.spec for s in steps], x, chain.patch_grid, skips=skips)
+        values[final.output_name] = out
+
+        stop = chain.stop - 1
+        for step in steps:
+            for name in step.input_names:
+                if (name not in produced
+                        and last_use.get(name, -1) <= stop
+                        and name != model.output_name):
+                    l2.free(name)
+        return peak
+
+    def _chain_cost(self, step: AccelStep, rec, ratio: float,
+                    num_patches: int):
+        """Depth-first cycle charge with the same replay memo as
+        :meth:`_accel_cost` (the charge is analytic in the step)."""
+        accel = self.soc.accelerator(step.accel_target)
+        params = self.soc.params
+        cached = getattr(step, "_df_cost_cache", None)
+        if cached is None or cached[0] is not accel or cached[1] is not params:
+            accumulate_depthfirst_cost(rec, accel, step.spec, step.tiling,
+                                       params, ratio, num_patches)
+            step._df_cost_cache = (accel, params, dict(rec.cycles),
+                                   rec.num_tiles)
+            return
+        _, _, cycles, num_tiles = cached
+        rec.cycles.update(cycles)
+        rec.num_tiles = num_tiles
 
     def _run_cpu(self, step: CpuKernelStep, args, perf: PerfCounters):
         body = step.body
@@ -368,6 +550,7 @@ class Executor:
 
         x = args[0]
         y = args[1] if spec.kind == "add" else None
-        if self.exec_mode == "fast":
+        if self.exec_mode in ("fast", "depthfirst"):
+            # non-chain steps of a depth-first model run as full layers
             return execute_layer_fast(accel, spec, x, y)
         return execute_layer_tiled(accel, spec, sol, x, y)

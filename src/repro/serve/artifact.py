@@ -42,7 +42,8 @@ from typing import Dict, Optional
 
 from ..core.config import CompilerConfig
 from ..core.program import (
-    AccelStep, BufferSpec, CompiledModel, CpuKernelStep, SizeBreakdown,
+    AccelStep, BufferSpec, CompiledModel, CpuKernelStep, DepthFirstChain,
+    SizeBreakdown,
 )
 from ..dory.memory_plan import MemoryPlan, TensorLife
 from ..dory.tiling_types import TileConfig, TilingSolution
@@ -186,6 +187,19 @@ def artifact_to_dict(compiled: CompiledModel, soc: DianaSoC,
         "decisions": [_decision_to_dict(d)
                       for d in compiled.dispatch_decisions],
         "c_sources": dict(compiled.c_sources),
+        # depth-first schedules (absent for layer-by-layer models, so
+        # pre-existing artifacts keep their exact layout)
+        **({"depthfirst": [{
+                "start": c.start, "length": c.length,
+                "patch_grid": list(c.patch_grid),
+                "num_patches": c.num_patches,
+                "peak_bytes": c.peak_bytes,
+                "patch_buffer_bytes": c.patch_buffer_bytes,
+                "per_layer_patch_bytes": list(c.per_layer_patch_bytes),
+                "recompute_factor": c.recompute_factor,
+                "per_layer_recompute": list(c.per_layer_recompute),
+            } for c in compiled.depthfirst_chains]}
+           if compiled.depthfirst_chains else {}),
         "validation": validation,
         "meta": meta,
     }
@@ -280,6 +294,16 @@ def artifact_from_dict(obj: Dict) -> LoadedArtifact:
         reuse=plan_rec["reuse"],
     )
     decisions = [DispatchDecision(**d) for d in obj.get("decisions", [])]
+    df_chains = [DepthFirstChain(
+        start=c["start"], length=c["length"],
+        patch_grid=tuple(c["patch_grid"]),
+        num_patches=c["num_patches"],
+        peak_bytes=c["peak_bytes"],
+        patch_buffer_bytes=c["patch_buffer_bytes"],
+        per_layer_patch_bytes=list(c["per_layer_patch_bytes"]),
+        recompute_factor=c["recompute_factor"],
+        per_layer_recompute=list(c["per_layer_recompute"]),
+    ) for c in obj.get("depthfirst", [])]
 
     model = CompiledModel(
         name=obj["model"], config_name=config.name, steps=steps,
@@ -288,6 +312,7 @@ def artifact_from_dict(obj: Dict) -> LoadedArtifact:
         size=SizeBreakdown(**obj["size"]),
         c_sources=dict(obj.get("c_sources", {})),
         dispatch_decisions=decisions, graph=graph,
+        depthfirst_chains=df_chains,
     )
 
     fingerprint = model.fingerprint()

@@ -126,7 +126,13 @@ class DynamicBatcher:
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
+        # serializes the stopping-flag check against the enqueue: a
+        # submit that passed the check cannot land behind the _STOP
+        # sentinel (it would be silently dropped and its future would
+        # hang forever), and a post-stop submit always raises.
+        self._submit_lock = threading.Lock()
         self._stopping = False
+        self._pending = 0  #: submitted but not yet resolved requests
         self._thread = threading.Thread(
             target=self._loop, name=f"batcher-{self.name}", daemon=True)
         self._thread.start()
@@ -137,9 +143,10 @@ class DynamicBatcher:
         """Enqueue one single-sample request (leading batch dim 1).
 
         Arrays without the batch dimension are accepted and reshaped.
+        Raises :class:`ServingError` once :meth:`stop` has begun — the
+        check and the enqueue are atomic w.r.t. the stop sentinel, so
+        an accepted request is always ahead of it and gets drained.
         """
-        if self._stopping:
-            raise ServingError(f"{self.name}: batcher is shut down")
         normalized = {}
         for name in self.compiled.input_names:
             if name not in feeds:
@@ -154,12 +161,24 @@ class DynamicBatcher:
                     f"{(1,) + expected[1:]}, got {arr.shape}")
             normalized[name] = arr
         fut = InferenceFuture()
-        self._queue.put(_Request(normalized, fut, time.monotonic()))
+        with self._submit_lock:
+            if self._stopping:
+                raise ServingError(f"{self.name}: batcher is shut down")
+            self._pending += 1
+            self._queue.put(_Request(normalized, fut, time.monotonic()))
         return fut
 
     @property
     def queue_depth(self) -> int:
         return self._queue.qsize()
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet resolved (queued or in the
+        batch currently executing) — the in-flight count the server's
+        LRU eviction pins on."""
+        with self._submit_lock:
+            return self._pending
 
     def stats(self) -> BatcherStats:
         """A consistent copy of the running counters."""
@@ -174,12 +193,13 @@ class DynamicBatcher:
         """Graceful shutdown: drain queued requests, then exit.
 
         New submissions are rejected immediately; requests already
-        queued are still executed (in maximal batches) before the
-        worker exits.
+        accepted are still executed (in maximal batches) before the
+        worker exits, so every returned future resolves exactly once.
         """
-        if not self._stopping:
-            self._stopping = True
-            self._queue.put(_STOP)
+        with self._submit_lock:
+            if not self._stopping:
+                self._stopping = True
+                self._queue.put(_STOP)
         if wait:
             self._thread.join(timeout)
             if self._thread.is_alive():
@@ -209,7 +229,9 @@ class DynamicBatcher:
                     break
                 batch.append(nxt)
             self._run_batch(batch)
-        # drain whatever raced in between the sentinel and shutdown
+        # safety net: the submit lock guarantees nothing lands behind
+        # the sentinel, but drain defensively anyway — a dropped
+        # request would be a future that hangs forever
         leftovers: List[_Request] = []
         while True:
             try:
@@ -235,6 +257,8 @@ class DynamicBatcher:
                 self._stats.batches += 1
             for r in batch:
                 r.future._fail(exc)
+            with self._submit_lock:
+                self._pending -= len(batch)
             return
         t1 = time.monotonic()
         cycles = result.perf.total_cycles
@@ -255,3 +279,5 @@ class DynamicBatcher:
             r.future.cycles = cycles
             r.future.batch_size = len(batch)
             r.future._resolve(result.outputs[i:i + 1])
+        with self._submit_lock:
+            self._pending -= len(batch)

@@ -57,6 +57,7 @@ class _ServedModel:
         self.key = key
         self.compiled = compiled
         self.soc = soc
+        self.leases = 0  #: submits in flight between lookup and enqueue
         self.batcher = DynamicBatcher(
             compiled, Executor(soc, exec_mode=cfg.exec_mode),
             max_batch_size=cfg.max_batch_size,
@@ -100,7 +101,6 @@ class InferenceServer:
         """
         fp = fingerprint or compiled.fingerprint()
         key = f"{compiled.name}@{fp[:12]}"
-        evict: List[_ServedModel] = []
         with self._lock:
             if self._shutdown:
                 raise ServingError("server is shut down")
@@ -108,13 +108,35 @@ class InferenceServer:
                 self._models.move_to_end(key)
                 return key
             self._models[key] = _ServedModel(key, compiled, soc, self.config)
-            while len(self._models) > self.config.capacity:
-                old_key, served = self._models.popitem(last=False)
-                self._evicted.append(old_key)
-                evict.append(served)
+            evict = self._evict_overflow_locked()
         for served in evict:  # drain outside the lock
             served.batcher.stop(wait=True)
         return key
+
+    def _evict_overflow_locked(self) -> List[_ServedModel]:
+        """Pick over-capacity victims, least-recently-used first.
+
+        A deployment with in-flight requests (queued or mid-batch) is
+        *pinned*: evicting it would drain its batcher against an
+        unregistered model while clients still hold its futures. Busy
+        LRU entries are skipped; if every entry is busy the registry
+        temporarily exceeds capacity and the overflow is reaped lazily
+        on the next register/submit once queues empty.
+        """
+        evict: List[_ServedModel] = []
+        while len(self._models) > self.config.capacity:
+            # never the most-recently-used entry: that is the newcomer
+            # (or the model a client just touched)
+            candidates = list(self._models.items())[:-1]
+            victim = next((k for k, m in candidates
+                           if m.batcher.pending == 0 and m.leases == 0),
+                          None)
+            if victim is None:
+                break  # every older model is busy: stay over capacity
+            served = self._models.pop(victim)
+            self._evicted.append(victim)
+            evict.append(served)
+        return evict
 
     def register_artifact(self, artifact, *args, **kwargs) -> str:
         """Host a packed deployment; accepts a path or a
@@ -130,8 +152,13 @@ class InferenceServer:
         with self._lock:
             return list(self._models)
 
-    def _lookup(self, model: str, touch: bool) -> _ServedModel:
-        """Resolve a key or bare name; ``touch`` refreshes LRU order."""
+    def _lookup(self, model: str, touch: bool,
+                lease: bool = False) -> _ServedModel:
+        """Resolve a key or bare name; ``touch`` refreshes LRU order.
+
+        ``lease`` pins the entry against eviction until the caller
+        releases it (the lookup-to-enqueue window of :meth:`submit`).
+        """
         with self._lock:
             if self._shutdown:
                 raise ServingError("server is shut down")
@@ -141,6 +168,8 @@ class InferenceServer:
             if key is not None:
                 if touch:
                     self._models.move_to_end(key)
+                if lease:
+                    self._models[key].leases += 1
                 return self._models[key]
         evicted = [k for k in self._evicted
                    if k == model or k.split("@", 1)[0] == model]
@@ -156,8 +185,24 @@ class InferenceServer:
 
     def submit(self, model: str,
                feeds: Dict[str, np.ndarray]) -> InferenceFuture:
-        """Queue one request; returns immediately with a future."""
-        return self._resolve(model).batcher.submit(feeds)
+        """Queue one request; returns immediately with a future.
+
+        The resolved deployment is leased for the duration of the
+        enqueue, so a concurrent over-capacity registration can never
+        evict it between lookup and submit. Deferred evictions (models
+        that were busy when capacity overflowed) are reaped here once
+        their queues drain.
+        """
+        served = self._lookup(model, touch=True, lease=True)
+        try:
+            fut = served.batcher.submit(feeds)
+        finally:
+            with self._lock:
+                served.leases -= 1
+                evict = self._evict_overflow_locked()
+        for old in evict:
+            old.batcher.stop(wait=True)
+        return fut
 
     def infer(self, model: str, feeds: Dict[str, np.ndarray],
               timeout: Optional[float] = 60.0) -> np.ndarray:
