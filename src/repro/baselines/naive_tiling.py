@@ -11,7 +11,7 @@ quantify that against the heuristic tiler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from ..dory.heuristics import digital_heuristics, no_heuristics
 from ..dory.layer_spec import LayerSpec

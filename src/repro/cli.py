@@ -56,6 +56,19 @@ cycles vs. a fresh compile), and ``serve`` hosts any mix of artifacts
 and zoo models behind the dynamic-batching inference server — either an
 interactive request loop or ``--requests N --clients K`` load
 generation.
+
+Static checks (see docs/CHECKS.md)::
+
+    python -m repro.cli check resnet --config digital
+    python -m repro.cli check resnet.dna
+    python -m repro.cli check --grid --json
+
+``check`` runs the static verifier framework (:mod:`repro.verify`)
+over a fresh compile, a packed ``.dna`` artifact, or the whole zoo x
+Table I grid — graph legality, L2 plan soundness, tile coverage / L1
+budgets, and artifact integrity — and exits non-zero on any
+error-severity diagnostic (``--json`` emits the ``repro-check/1``
+report).
 """
 
 from __future__ import annotations
@@ -66,7 +79,7 @@ import sys
 
 from . import eval as evaluation
 from .core import (
-    HTVM, TVM_CPU, TilingCache, compile_model, get_default_cache,
+    TilingCache, compile_model, get_default_cache,
     set_default_cache,
 )
 from .errors import OutOfMemoryError, ReproError
@@ -305,7 +318,43 @@ def _number(text: str):
     try:
         return float(text)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+
+
+def cmd_check(args) -> int:
+    import json
+
+    from .verify import grid_report, verify_artifact, verify_grid, verify_model
+
+    if args.grid:
+        results = verify_grid(models=args.models,
+                              artifacts=not args.no_artifacts)
+    elif not args.target:
+        print("error: check needs a TARGET (or --grid)", file=sys.stderr)
+        return 2
+    elif args.target.endswith(".dna"):
+        results = [verify_artifact(args.target, deep=True)]
+    else:
+        precision, soc, cfg = _setup(args.config, args)
+        graph = _load_model(args.target, precision)
+        try:
+            compiled = compile_model(graph, soc, cfg)
+        except OutOfMemoryError as exc:
+            print(f"OUT OF MEMORY: {exc}")
+            return 2
+        result = verify_model(compiled, soc=soc, config=cfg)
+        result.target = f"{args.target}/{args.config}"
+        results = [result]
+
+    if args.json:
+        print(json.dumps(grid_report(results), indent=2))
+    else:
+        for r in results:
+            print(r.render())
+        bad = sum(1 for r in results if not r.ok)
+        print(f"{'FAIL' if bad else 'OK'}: {len(results) - bad}/"
+              f"{len(results)} targets clean")
+    return 0 if all(r.ok for r in results) else 1
 
 
 def cmd_pack(args) -> int:
@@ -667,6 +716,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_mapping_arg(p)
     add_depthfirst_arg(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "check",
+        help="statically verify a compile or a .dna artifact "
+             "(see docs/CHECKS.md)")
+    p.add_argument("target", nargs="?",
+                   help="zoo model / graph JSON (compiled, then checked) "
+                        "or a .dna artifact path (checked without "
+                        "executing); omit with --grid")
+    p.add_argument("--config", choices=list(CONFIGS), default="mixed",
+                   help="compile configuration for model targets")
+    p.add_argument("--grid", action="store_true",
+                   help="sweep every zoo model x Table I config, checking "
+                        "both the fresh compile and a packed artifact")
+    p.add_argument("--models", nargs="+", choices=sorted(MLPERF_TINY),
+                   help="restrict --grid to these models")
+    p.add_argument("--no-artifacts", action="store_true",
+                   help="skip the pack + artifact-check half of --grid")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable repro-check/1 document")
+    add_cache_args(p)
+    add_mapping_arg(p)
+    add_depthfirst_arg(p)
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
         "pack", help="compile a model into a .dna serving artifact")

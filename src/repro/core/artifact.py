@@ -24,10 +24,10 @@ values are within ~15% (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from ..codegen.cpu import classify_body, kernel_signature
-from ..ir import Composite, Constant
+from ..ir import Constant
 from ..soc.analog import AnalogAccelerator
 from ..soc.params import DianaParams
 from .program import AccelStep, CpuKernelStep, SizeBreakdown, Step

@@ -26,7 +26,7 @@ from ..dory.heuristics import heuristic_set_for
 from ..dory.memory_plan import TensorLife, lifetimes_from_steps, plan_memory
 from ..dory.tiler import DoryTiler
 from ..errors import CodegenError, OutOfMemoryError
-from ..ir import Composite, Graph, Var
+from ..ir import Composite, Graph
 from ..soc.diana import DianaSoC
 from ..transforms import (
     PassManager, Pass, canonicalize, eliminate_dead_code, fold_constants,
@@ -39,13 +39,24 @@ from .config import CompilerConfig, HTVM
 from .program import AccelStep, BufferSpec, CompiledModel, CpuKernelStep
 
 
+def _verify_stage(stage: str, graph: Graph) -> None:
+    """Assert graph invariants, naming ``stage`` in any diagnostic."""
+    from ..verify import assert_valid, verify_graph
+
+    assert_valid(verify_graph(graph, stage=stage))
+
+
 def _frontend(graph: Graph, config: CompilerConfig) -> Graph:
     pm = PassManager([
         Pass("canonicalize", canonicalize),
         Pass("fold_constants", fold_constants),
         Pass("dead_code", eliminate_dead_code),
     ])
-    return pm.run(graph)
+    post_hook = None
+    if config.verify_passes:
+        def post_hook(name: str, g: Graph) -> None:
+            _verify_stage(f"transform:{name}", g)
+    return pm.run(graph, post_hook=post_hook)
 
 
 def compile_model(graph: Graph, soc: DianaSoC,
@@ -69,8 +80,14 @@ def compile_model(graph: Graph, soc: DianaSoC,
     decisions = []
     if config.offload and soc.accelerators:
         graph = partition(graph, default_specs())
+        if config.verify_passes:
+            _verify_stage("transform:partition", graph)
         graph, decisions = plan_mapping(graph, soc, config, cache=cache)
+        if config.verify_passes:
+            _verify_stage("transform:mapping", graph)
     graph = fuse_cpu_ops(graph)
+    if config.verify_passes:
+        _verify_stage("transform:fuse_cpu_ops", graph)
 
     # ---- steps over named buffers -----------------------------------------
     buffers: Dict[str, BufferSpec] = {}
@@ -201,10 +218,15 @@ def compile_model(graph: Graph, soc: DianaSoC,
         graph.name, steps, kernel_names, plan,
         [v.name for v in graph.inputs], output_name)
 
-    return CompiledModel(
+    compiled = CompiledModel(
         name=graph.name, config_name=config.name, steps=steps,
         buffers=buffers, input_names=[v.name for v in graph.inputs],
         output_name=output_name, memory_plan=plan, size=size,
         c_sources=kernel_sources, dispatch_decisions=decisions, graph=graph,
         depthfirst_chains=df_chains,
     )
+    if config.verify_passes:
+        from ..verify import assert_valid, verify_model
+
+        assert_valid(verify_model(compiled, soc=soc, config=config))
+    return compiled

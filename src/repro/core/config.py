@@ -7,10 +7,10 @@ import json
 from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
-#: config fields that do not influence compilation *results* — memo
-#: knobs may differ between two runs that still produce byte-identical
-#: deployments, so they are excluded from the fingerprint.
-_NON_SEMANTIC_FIELDS = ("tiling_cache",)
+#: config fields that do not influence compilation *results* — memo or
+#: checking knobs may differ between two runs that still produce
+#: byte-identical deployments, so they are excluded from the fingerprint.
+_NON_SEMANTIC_FIELDS = ("tiling_cache", "verify_passes")
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,14 @@ class CompilerConfig:
             L2 budget: an out-of-memory rescue) or ``"on"`` (fuse every
             eligible chain; benchmark/DSE mode). See
             :mod:`repro.extensions.depthfirst` and docs/DEPTHFIRST.md.
+        verify_passes: run the static graph verifier after every
+            transform and the memory/plan verifiers on the finished
+            compile, raising
+            :class:`~repro.errors.VerificationError` naming the
+            offending stage (see :mod:`repro.verify` and
+            docs/CHECKS.md). Off by default: checking is O(graph) per
+            pass. Non-semantic: does not change the emitted deployment
+            or the config fingerprint.
     """
 
     name: str = "htvm"
@@ -69,6 +77,7 @@ class CompilerConfig:
     mapping_weight: float = 0.5
     mapping_beam_width: int = 8
     depthfirst: str = "off"
+    verify_passes: bool = False
 
     def with_overrides(self, **kwargs) -> "CompilerConfig":
         return replace(self, **kwargs)

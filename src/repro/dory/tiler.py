@@ -195,7 +195,9 @@ class DoryTiler:
         that of a smaller one — callers walking the candidate grid in
         ascending order pass the previous result to shrink the range.
         """
-        make = lambda oy: TileConfig(c_t=c_t, k_t=k_t, oy_t=oy, ox_t=spec.ox)
+        def make(oy: int) -> TileConfig:
+            return TileConfig(c_t=c_t, k_t=k_t, oy_t=oy, ox_t=spec.ox)
+
         if not self._feasible(spec, make(1)):
             return None
         lo, hi = 1, min(spec.oy, hi if hi is not None else spec.oy)

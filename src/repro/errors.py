@@ -62,5 +62,9 @@ class ArtifactError(ReproError):
     """A serving artifact is malformed, stale, or fails integrity checks."""
 
 
+class VerificationError(ReproError):
+    """A static checker found an invariant violation (see repro.verify)."""
+
+
 class ServingError(ReproError):
     """The inference server was misused (unknown model, shut down, ...)."""

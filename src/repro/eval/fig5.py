@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..dory.heuristics import analog_heuristics, digital_heuristics
-from ..dory.layer_spec import LayerSpec
 from ..dory.tiler import DoryTiler
 from ..frontend.modelzoo import (
     fig5_analog_conv_channel, fig5_analog_conv_spatial,

@@ -16,12 +16,12 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..core.compiler import compile_model
-from ..core.config import CompilerConfig, HTVM, TVM_CPU
+from ..core.config import HTVM, TVM_CPU
 from ..core.program import CompiledModel
 from ..errors import OutOfMemoryError
 from ..frontend.modelzoo import MLPERF_TINY

@@ -36,7 +36,7 @@ from typing import List, Optional, Tuple
 
 from ..dory.layer_spec import LayerSpec
 from ..errors import UnsupportedError
-from ..ir import Composite, Graph
+from ..ir import Graph
 
 #: layer kinds a depth-first chain may contain (pixel-local MAC ops).
 CHAIN_KINDS = ("conv2d", "dwconv2d")

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
 
 from ...ir import GraphBuilder, Node
 from ..quantize import INT8, layer_quant

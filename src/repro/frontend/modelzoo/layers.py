@@ -8,7 +8,7 @@ for Conv2D, FC and DWConv2D on both accelerators.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from ...dory.layer_spec import LayerSpec, make_conv_spec, make_dense_spec
 

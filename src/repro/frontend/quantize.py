@@ -21,7 +21,6 @@ compiler flow handles all three variants — exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from ..errors import UnsupportedError
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict
 
 from .graph import Graph
-from .node import Call, Composite, Constant, Node, Var
+from .node import Call, Composite, Constant, Var
 
 _TARGET_COLORS = {
     "cpu": "#f4cccc",          # red-ish: TVM's native CPU path

@@ -96,7 +96,8 @@ def dtype(name: str) -> DataType:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise IRError(f"unknown dtype {name!r}; known: {sorted(_REGISTRY)}")
+        raise IRError(
+            f"unknown dtype {name!r}; known: {sorted(_REGISTRY)}") from None
 
 
 def all_dtypes() -> tuple:

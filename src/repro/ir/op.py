@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
 from ..errors import IRError, ShapeError
-from .dtypes import DataType, INT32, dtype as _dtype
+from .dtypes import dtype as _dtype
 from .tensor import TensorType
 
 
@@ -61,7 +61,7 @@ def get_op(name: str) -> OpDef:
     try:
         return _OPS[name]
     except KeyError:
-        raise IRError(f"unknown op {name!r}; known: {sorted(_OPS)}")
+        raise IRError(f"unknown op {name!r}; known: {sorted(_OPS)}") from None
 
 
 def all_ops() -> Sequence[str]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict
 
 from .graph import Graph
-from .node import Call, Composite, Constant, Node, Var
+from .node import Call, Composite, Constant, Var
 
 
 def _fmt_attrs(attrs: Dict) -> str:

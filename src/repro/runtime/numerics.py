@@ -5,7 +5,7 @@ models can import them without dragging in the full runtime package.
 """
 
 from ..numerics import *  # noqa: F401,F403
-from ..numerics import (  # explicit re-exports for linters
+from ..numerics import (  # noqa: F401 — explicit re-exports for linters
     add, avg_pool2d, bias_add, bias_requantize, cast, clip, conv2d, dense,
     global_avg_pool2d, max_pool2d, pad_nchw, relu, requantize,
     right_shift, softmax,

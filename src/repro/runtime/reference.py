@@ -161,7 +161,8 @@ def _compile_call(node: Call) -> Callable:
     try:
         compiler = _OP_COMPILERS[node.op]
     except KeyError:
-        raise SimulationError(f"reference executor: unhandled op {node.op}")
+        raise SimulationError(
+            f"reference executor: unhandled op {node.op}") from None
     return compiler(node)
 
 

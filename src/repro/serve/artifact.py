@@ -355,19 +355,42 @@ def save_artifact(path: str, compiled: CompiledModel, soc: DianaSoC,
     return record["fingerprint"]
 
 
-def load_artifact(path: str) -> LoadedArtifact:
+def load_artifact(path: str, verify: bool = False) -> LoadedArtifact:
     """Read a ``.dna`` file back into an executable deployment.
 
     Skips compilation entirely: no pattern matching, mapping search,
     DORY tiling or memory planning runs. Raises
     :class:`~repro.errors.ArtifactError` on any integrity failure.
+
+    With ``verify=True`` the static checkers additionally gate the
+    load: the raw container is schema-checked before reconstruction
+    and the reconstructed deployment runs the graph / memory-plan /
+    compiled-plan verifiers (see :mod:`repro.verify`); any
+    error-severity diagnostic raises :class:`ArtifactError`.
     """
     try:
         with gzip.open(path, "rt", encoding="utf-8") as f:
             obj = json.load(f)
-    except (OSError, ValueError) as exc:
-        raise ArtifactError(f"cannot read artifact {path!r}: {exc}")
-    return artifact_from_dict(obj)
+    except (OSError, ValueError, EOFError) as exc:
+        raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from exc
+    if not verify:
+        return artifact_from_dict(obj)
+
+    from ..verify import check_artifact_dict, verify_model
+
+    shallow = [d for d in check_artifact_dict(obj, deep=False)
+               if d.severity.value == "error"]
+    if shallow:
+        raise ArtifactError(
+            f"artifact {path!r} failed static checks:\n"
+            + "\n".join(d.render() for d in shallow))
+    art = artifact_from_dict(obj)
+    result = verify_model(art.model, soc=art.soc, config=art.config)
+    if not result.ok:
+        raise ArtifactError(
+            f"artifact {path!r} failed static checks:\n"
+            + "\n".join(d.render() for d in result.errors))
+    return art
 
 
 def pack_model(graph, soc: DianaSoC, config: CompilerConfig, path: str,

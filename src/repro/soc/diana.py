@@ -49,7 +49,7 @@ class DianaSoC:
             raise DispatchError(
                 f"platform has no accelerator {name!r}; "
                 f"available: {sorted(self.accelerators)}"
-            )
+            ) from None
 
     def fresh_l2(self) -> MemoryRegion:
         """A new empty L2 region (shared main memory)."""

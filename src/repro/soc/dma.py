@@ -11,7 +11,7 @@ tiles that keep the innermost dimensions whole need fewer chunks.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from .params import DianaParams
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional, Tuple
 
 from ..ir import Graph
 
@@ -34,13 +34,20 @@ class PassManager:
 
     def __init__(self, passes: List[Pass]):
         self.passes = list(passes)
-        self.trace: List[tuple] = []
+        self.trace: List[Tuple[str, int, int]] = []
 
-    def run(self, graph: Graph) -> Graph:
+    def run(self, graph: Graph,
+            post_hook: Optional[Callable[[str, Graph], None]] = None
+            ) -> Graph:
+        """Run the pipeline; ``post_hook(pass_name, graph)`` fires after
+        each pass — the static verifier uses it to pin a diagnostic to
+        the transform that produced the broken graph."""
         self.trace = []
         for p in self.passes:
             before = len(graph.topo_order())
             graph = p(graph)
             after = len(graph.topo_order())
             self.trace.append((p.name, before, after))
+            if post_hook is not None:
+                post_hook(p.name, graph)
         return graph

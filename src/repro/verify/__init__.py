@@ -1,0 +1,33 @@
+"""Static verifier framework (``repro check``).
+
+Four checker families re-derive, from first principles, the invariants
+each compiler stage promises — well-formed graphs after every
+transform, non-overlapping live L2 buffers under budget, tile loops
+that exactly cover each layer, and internally consistent ``.dna``
+artifacts — and report findings as :class:`Diagnostic` records with
+stable machine-readable codes (catalog: ``docs/CHECKS.md``).
+"""
+
+from .diagnostics import (
+    CHECK_SCHEMA, CODES, CheckResult, Diagnostic, Severity, error, info,
+    warning,
+)
+from .graph_checks import check_graph
+from .memory_checks import check_memory_plan
+from .plan_checks import check_compiled_plan
+from .artifact_checks import (
+    check_artifact_dict, check_artifact_file, read_artifact_dict,
+)
+from .runner import (
+    assert_valid, grid_report, verify_artifact, verify_graph, verify_grid,
+    verify_model,
+)
+
+__all__ = [
+    "CHECK_SCHEMA", "CODES", "CheckResult", "Diagnostic", "Severity",
+    "error", "warning", "info",
+    "check_graph", "check_memory_plan", "check_compiled_plan",
+    "check_artifact_dict", "check_artifact_file", "read_artifact_dict",
+    "assert_valid", "grid_report", "verify_artifact", "verify_graph",
+    "verify_grid", "verify_model",
+]

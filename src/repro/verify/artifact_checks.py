@@ -1,0 +1,253 @@
+"""Artifact verifier: static ``.dna`` integrity without execution.
+
+Validates the on-disk container shape (magic, version, section schema),
+cross-checks both fingerprints (the config fingerprint against the
+stored config, the content fingerprint by reconstruction), and checks
+that the mapping-decision and depth-first sections are consistent with
+the stored program — all without running a single inference.
+
+The serve layer is imported lazily inside the functions: ``serve``
+itself calls into this module when loading with verification enabled,
+and module-level imports in both directions would cycle.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .diagnostics import Diagnostic, error
+from .graph_checks import check_graph
+from .memory_checks import check_memory_plan
+from .plan_checks import check_compiled_plan
+
+_STAGE = "artifact"
+
+#: top-level sections every version-1 artifact must carry, with the
+#: JSON type the loader assumes for each.
+_SCHEMA: Tuple[Tuple[str, type], ...] = (
+    ("model", str),
+    ("config", dict),
+    ("config_fingerprint", str),
+    ("fingerprint", str),
+    ("soc", dict),
+    ("graph", dict),
+    ("steps", list),
+    ("buffers", dict),
+    ("input_names", list),
+    ("output_name", str),
+    ("memory_plan", dict),
+    ("size", dict),
+)
+
+_MEMORY_PLAN_KEYS = ("offsets", "sizes", "lifetimes", "arena_bytes", "reuse")
+_SOC_KEYS = ("enable_digital", "enable_analog", "params")
+
+
+def read_artifact_dict(path: str) -> Tuple[Optional[Dict[str, Any]],
+                                           List[Diagnostic]]:
+    """Read a ``.dna`` file into its raw dict, without reconstructing.
+
+    Truncated, non-gzip or non-JSON files yield a ``V-ART-001``
+    diagnostic and ``None`` instead of raising.
+    """
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            obj = json.load(f)
+    except (OSError, ValueError, EOFError) as exc:
+        return None, [error(
+            "V-ART-001", _STAGE,
+            f"cannot read artifact (truncated or corrupt file): {exc}",
+            path)]
+    if not isinstance(obj, dict):
+        return None, [error(
+            "V-ART-001", _STAGE,
+            f"artifact payload is {type(obj).__name__}, not an object",
+            path)]
+    return obj, []
+
+
+def _check_schema(obj: Dict[str, Any],
+                  diags: List[Diagnostic]) -> bool:
+    """Container shape: magic, version, required typed sections."""
+    from ..serve.artifact import ARTIFACT_MAGIC, ARTIFACT_VERSION
+
+    if obj.get("format") != ARTIFACT_MAGIC:
+        diags.append(error(
+            "V-ART-001", _STAGE,
+            f"bad magic {obj.get('format')!r} (expected "
+            f"{ARTIFACT_MAGIC!r})", "format"))
+        return False
+    if obj.get("version") != ARTIFACT_VERSION:
+        diags.append(error(
+            "V-ART-002", _STAGE,
+            f"unsupported container version {obj.get('version')!r} "
+            f"(this build reads version {ARTIFACT_VERSION})", "version"))
+        return False
+    ok = True
+    for key, typ in _SCHEMA:
+        if key not in obj:
+            diags.append(error(
+                "V-ART-003", _STAGE, "required section is missing", key))
+            ok = False
+        elif not isinstance(obj[key], typ):
+            diags.append(error(
+                "V-ART-003", _STAGE,
+                f"section holds a {type(obj[key]).__name__}, expected "
+                f"{typ.__name__}", key))
+            ok = False
+    if ok:
+        for key in _MEMORY_PLAN_KEYS:
+            if key not in obj["memory_plan"]:
+                diags.append(error(
+                    "V-ART-003", _STAGE, "memory plan is missing a field",
+                    f"memory_plan.{key}"))
+                ok = False
+        for key in _SOC_KEYS:
+            if key not in obj["soc"]:
+                diags.append(error(
+                    "V-ART-003", _STAGE, "platform record is missing a "
+                    "field", f"soc.{key}"))
+                ok = False
+    return ok
+
+
+def _check_config_fingerprint(obj: Dict[str, Any],
+                              diags: List[Diagnostic]) -> None:
+    """The stored config fingerprint must match the stored config."""
+    from ..core.config import CompilerConfig
+
+    try:
+        config = CompilerConfig(**obj["config"])
+    except TypeError as exc:
+        diags.append(error(
+            "V-ART-003", _STAGE,
+            f"stored config does not construct a CompilerConfig ({exc})",
+            "config"))
+        return
+    derived = config.fingerprint()
+    if derived != obj["config_fingerprint"]:
+        diags.append(error(
+            "V-ART-004", _STAGE,
+            f"stored config fingerprint {obj['config_fingerprint'][:12]} "
+            f"disagrees with the stored config (fingerprints to "
+            f"{derived[:12]}) — provenance is stale", "config_fingerprint"))
+
+
+def _check_sections(obj: Dict[str, Any],
+                    diags: List[Diagnostic]) -> None:
+    """Chain/mapping/buffer sections vs the stored program (V-ART-006)."""
+    steps = obj["steps"]
+    num_steps = len(steps)
+    step_names = set()
+    buffer_names = set(obj["buffers"])
+    plan = obj["memory_plan"]
+
+    for i, rec in enumerate(steps):
+        if not isinstance(rec, dict) or "name" not in rec:
+            diags.append(error(
+                "V-ART-003", _STAGE, "step record is not an object with a "
+                "name", f"steps[{i}]"))
+            return
+        step_names.add(rec["name"])
+        for name in list(rec.get("input_names", [])) \
+                + [rec.get("output_name")]:
+            if name not in buffer_names:
+                diags.append(error(
+                    "V-ART-006", _STAGE,
+                    f"step {rec['name']!r} references buffer {name!r} "
+                    "absent from the buffers section", f"steps[{i}]"))
+
+    for table in ("offsets", "sizes", "lifetimes"):
+        for name in plan.get(table, {}):
+            if name not in buffer_names:
+                diags.append(error(
+                    "V-ART-006", _STAGE,
+                    f"memory plan entry for unknown buffer {name!r}",
+                    f"memory_plan.{table}"))
+
+    for ci, chain in enumerate(obj.get("depthfirst", [])):
+        start, length = chain.get("start", -1), chain.get("length", 0)
+        loc = f"depthfirst[{ci}]"
+        if start < 0 or length < 2 or start + length > num_steps:
+            diags.append(error(
+                "V-ART-006", _STAGE,
+                f"chain [{start}, {start + length}) outside the "
+                f"{num_steps}-step program", loc))
+            continue
+        per_layer = chain.get("per_layer_patch_bytes", [])
+        if len(per_layer) != length:
+            diags.append(error(
+                "V-ART-006", _STAGE,
+                f"chain covers {length} layers but records "
+                f"{len(per_layer)} per-layer patch extents", loc))
+        if any(steps[start + j].get("kind") != "accel"
+               for j in range(length)):
+            diags.append(error(
+                "V-ART-006", _STAGE,
+                "chain covers a non-accelerator step", loc))
+
+    accel_targets = {"soc.digital", "soc.analog"}
+    enabled = {t for t, on in (("soc.digital", obj["soc"].get(
+        "enable_digital")), ("soc.analog", obj["soc"].get("enable_analog")))
+        if on}
+    for di, rec in enumerate(obj.get("decisions", [])):
+        target = rec.get("target", "")
+        loc = f"decisions[{di}]"
+        if target in accel_targets and target not in enabled:
+            diags.append(error(
+                "V-ART-006", _STAGE,
+                f"decision for {rec.get('layer_name')!r} picked disabled "
+                f"accelerator {target!r}", loc))
+        candidates = rec.get("candidates", [])
+        if candidates and target not in candidates:
+            diags.append(error(
+                "V-ART-006", _STAGE,
+                f"decision for {rec.get('layer_name')!r} picked "
+                f"{target!r}, not among its candidates {candidates}", loc))
+
+
+def check_artifact_dict(obj: Dict[str, Any],
+                        deep: bool = True) -> List[Diagnostic]:
+    """Run every artifact invariant check on a raw ``.dna`` dict.
+
+    With ``deep=True`` the deployment is also reconstructed (content
+    fingerprint verified, ``V-ART-005``) and the graph / memory-plan /
+    compiled-plan checkers run over the reconstruction.
+    """
+    diags: List[Diagnostic] = []
+    if not _check_schema(obj, diags):
+        return diags
+    _check_config_fingerprint(obj, diags)
+    _check_sections(obj, diags)
+    if not deep or diags:
+        return diags
+
+    from ..errors import ArtifactError
+    from ..serve.artifact import artifact_from_dict
+
+    try:
+        art = artifact_from_dict(obj)
+    except ArtifactError as exc:
+        code = "V-ART-005" if "fingerprint" in str(exc) else "V-ART-003"
+        diags.append(error(code, _STAGE, str(exc)))
+        return diags
+
+    if art.model.graph is not None:
+        diags.extend(check_graph(art.model.graph, stage="artifact:graph"))
+    diags.extend(check_memory_plan(
+        art.model, l2_bytes=art.soc.params.l2_bytes,
+        check_l2=art.config.check_l2))
+    diags.extend(check_compiled_plan(
+        art.model, params=art.soc.params, l1_budget=art.config.l1_budget,
+        accelerators=list(art.soc.accelerators)))
+    return diags
+
+
+def check_artifact_file(path: str, deep: bool = True) -> List[Diagnostic]:
+    """Read ``path`` and run :func:`check_artifact_dict` over it."""
+    obj, diags = read_artifact_dict(path)
+    if obj is None:
+        return diags
+    return diags + check_artifact_dict(obj, deep=deep)

@@ -1,0 +1,188 @@
+"""Shared diagnostic vocabulary for the static checker framework.
+
+Every checker family (graph, memory plan, compiled plan, artifact)
+reports findings as :class:`Diagnostic` records carrying a severity, a
+compilation stage, a location (node / buffer / step name) and a stable
+machine-readable code such as ``V-GRAPH-003``. :class:`CheckResult`
+aggregates diagnostics across checkers and renders them as text or as
+the JSON document consumed by CI and external tooling (see
+``docs/CHECKS.md`` for the catalog and the output schema).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+#: version tag of the ``repro check --json`` output document.
+CHECK_SCHEMA = "repro-check/1"
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are invariant violations — the deployment is
+    structurally invalid and must not be executed or served.
+    ``WARNING`` findings are suspicious but not provably wrong;
+    ``INFO`` records context (e.g. an expected-OoM grid cell skipped).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: catalog of every diagnostic code a checker may emit, keyed by code.
+#: Kept next to the dataclass so ``docs/CHECKS.md`` and the JSON schema
+#: test can assert the catalog and the checkers never drift apart.
+CODES: Dict[str, str] = {
+    # graph verifier -------------------------------------------------------
+    "V-GRAPH-001": "graph contains a cycle (defs-before-uses violated)",
+    "V-GRAPH-002": "free variable: a Var is reachable but not declared",
+    "V-GRAPH-003": "dangling input: a declared Var never reaches the output",
+    "V-GRAPH-004": "operator arity mismatch or unknown operator",
+    "V-GRAPH-005": "re-derived operator type disagrees with the node type",
+    "V-GRAPH-006": "composite body inconsistent with its call site",
+    "V-GRAPH-007": "illegal quantization attribute (shift/clip/dtype range)",
+    # memory-plan verifier -------------------------------------------------
+    "V-MEM-001": "buffer referenced by the schedule is missing from the plan",
+    "V-MEM-002": "two temporally live buffers overlap in the L2 arena",
+    "V-MEM-003": "arena size is smaller than the furthest allocated extent",
+    "V-MEM-004": "static image + activation arena exceed the L2 capacity",
+    "V-MEM-005": "recorded lifetime does not cover a use in the schedule",
+    "V-MEM-006": "depth-first slab smaller than its worst-case patch extent",
+    "V-MEM-007": "depth-first chain residency/ping-pong invariant violated",
+    # compiled-plan / tiling verifier --------------------------------------
+    "V-PLAN-001": "step consumes an operand that was never produced",
+    "V-PLAN-002": "two steps produce the same buffer",
+    "V-PLAN-003": "network output or buffer spec missing from the program",
+    "V-PLAN-004": "tile loop does not cover the output exactly (gap/overlap)",
+    "V-PLAN-005": "nominal per-tile footprint exceeds the L1 budget",
+    "V-PLAN-006": "recorded tiling bytes disagree with the re-derived values",
+    "V-PLAN-007": "weight tile exceeds the digital weight-memory capacity",
+    "V-PLAN-008": "step geometry inconsistent with its buffers",
+    "V-PLAN-009": "step targets an accelerator the platform does not have",
+    # artifact verifier ----------------------------------------------------
+    "V-ART-001": "artifact unreadable or bad magic (truncated/corrupt file)",
+    "V-ART-002": "unsupported artifact container version",
+    "V-ART-003": "artifact schema violation (missing/ill-typed section)",
+    "V-ART-004": "stored config fingerprint disagrees with the stored config",
+    "V-ART-005": "artifact failed integrity reconstruction (fingerprint)",
+    "V-ART-006": "chain/mapping section inconsistent with the program",
+    # runner ---------------------------------------------------------------
+    "V-RUN-001": "grid cell skipped (expected out-of-memory deployment)",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static checker."""
+
+    code: str                 #: stable machine-readable code, e.g. V-MEM-002
+    severity: Severity
+    stage: str                #: pipeline stage, e.g. "graph", "transform:dead_code"
+    message: str
+    location: str = ""        #: node / buffer / step / section name
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "stage": self.stage,
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        loc = f" [{self.location}]" if self.location else ""
+        return (f"{self.severity.value.upper():<7} {self.code} "
+                f"({self.stage}){loc}: {self.message}")
+
+
+def error(code: str, stage: str, message: str,
+          location: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, stage, message, location)
+
+
+def warning(code: str, stage: str, message: str,
+            location: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, stage, message, location)
+
+
+def info(code: str, stage: str, message: str,
+         location: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.INFO, stage, message, location)
+
+
+@dataclass
+class CheckResult:
+    """Aggregated outcome of one verification run."""
+
+    target: str = ""               #: what was checked (model/artifact label)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    checked: List[str] = field(default_factory=list)  #: checker families run
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was found."""
+        return not self.errors
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    def codes(self) -> List[str]:
+        """Sorted unique diagnostic codes present in this result."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def add(self, diagnostics: Iterable[Diagnostic],
+            checker: Optional[str] = None) -> "CheckResult":
+        self.diagnostics.extend(diagnostics)
+        if checker is not None and checker not in self.checked:
+            self.checked.append(checker)
+        return self
+
+    def merge(self, other: "CheckResult") -> "CheckResult":
+        self.diagnostics.extend(other.diagnostics)
+        for c in other.checked:
+            if c not in self.checked:
+                self.checked.append(c)
+        return self
+
+    def counts(self) -> Dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for d in self.diagnostics:
+            out[d.severity.value] += 1
+        return out
+
+    def render(self) -> str:
+        head = (f"{self.target or 'check'}: "
+                f"{'PASS' if self.ok else 'FAIL'} "
+                f"({len(self.errors)} errors, {len(self.warnings)} warnings; "
+                f"checkers: {', '.join(self.checked) or 'none'})")
+        lines = [head]
+        lines.extend(f"  {d.render()}" for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "ok": self.ok,
+            "checked": list(self.checked),
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

@@ -1,0 +1,231 @@
+"""Graph verifier: structural and type invariants of the dataflow IR.
+
+Re-derives every property from operator semantics instead of trusting
+the values cached on the nodes, so a transform that corrupts a graph —
+wrong output type, dangling input, an illegal requantization constant —
+is caught at the stage that introduced it rather than when execution
+output diverges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir import Call, Composite, Constant, Graph, Node, Var, get_op
+from ..ir.dtypes import DataType
+from .diagnostics import Diagnostic, error, warning
+
+#: inclusive value range of the small integer dtypes the flow quantizes
+#: to; used to validate clip bounds and constant payload ranges.
+_DTYPE_RANGES = {
+    "ternary": (-1, 1),
+    "int7": (-64, 63),
+    "int8": (-128, 127),
+    "int16": (-(2 ** 15), 2 ** 15 - 1),
+    "int32": (-(2 ** 31), 2 ** 31 - 1),
+}
+
+#: right_shift amounts outside this range lose all integer precision /
+#: are undefined for the 32-bit accumulators the accelerators carry.
+_MAX_SHIFT = 31
+
+
+def _loc(node: Node) -> str:
+    if isinstance(node, Var):
+        return f"%{node.name}"
+    if isinstance(node, Call):
+        return f"{node.op}#{node.node_id}"
+    if isinstance(node, Composite):
+        return f"{node.pattern_name}#{node.node_id}"
+    if isinstance(node, Constant):
+        return f"const#{node.node_id}"
+    return f"node#{node.node_id}"
+
+
+def _check_acyclic(graph: Graph, stage: str,
+                   diags: List[Diagnostic]) -> bool:
+    """Defs-before-uses: the dependency relation must be a DAG."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[int, int] = {}
+    stack: List[tuple] = [(graph.output, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            color[node.node_id] = BLACK
+            continue
+        state = color.get(node.node_id, WHITE)
+        if state == BLACK:
+            continue
+        if state == GREY:
+            continue
+        color[node.node_id] = GREY
+        stack.append((node, True))
+        for inp in node.inputs:
+            if color.get(inp.node_id, WHITE) == GREY:
+                diags.append(error(
+                    "V-GRAPH-001", stage,
+                    f"cycle through {_loc(inp)} (a node transitively "
+                    "consumes its own output)", _loc(node)))
+                return False
+            if color.get(inp.node_id, WHITE) == WHITE:
+                stack.append((inp, False))
+    return True
+
+
+def _check_vars(graph: Graph, stage: str, reachable: List[Node],
+                diags: List[Diagnostic]) -> None:
+    declared = {v.node_id for v in graph.inputs}
+    reachable_vars = {n.node_id for n in reachable if isinstance(n, Var)}
+    for node in reachable:
+        if isinstance(node, Var) and node.node_id not in declared:
+            diags.append(error(
+                "V-GRAPH-002", stage,
+                f"Var {node.name!r} is consumed but is not a declared "
+                "graph input", _loc(node)))
+    for v in graph.inputs:
+        if v.node_id not in reachable_vars:
+            diags.append(warning(
+                "V-GRAPH-003", stage,
+                f"declared input {v.name!r} never reaches the output "
+                "(dangling input)", _loc(v)))
+
+
+def _check_call(node: Call, stage: str, diags: List[Diagnostic]) -> None:
+    try:
+        op = get_op(node.op)
+    except Exception as exc:  # unknown operator
+        diags.append(error("V-GRAPH-004", stage, str(exc), _loc(node)))
+        return
+    if len(node.inputs) != op.arity:
+        diags.append(error(
+            "V-GRAPH-004", stage,
+            f"{node.op} expects {op.arity} inputs, has "
+            f"{len(node.inputs)}", _loc(node)))
+        return
+    if op.infer is None:
+        return
+    try:
+        derived = op.infer([n.ttype for n in node.inputs], node.attrs)
+    except Exception as exc:
+        diags.append(error(
+            "V-GRAPH-005", stage,
+            f"{node.op}: shape/dtype inference rejects the recorded "
+            f"operand types ({exc})", _loc(node)))
+        return
+    if derived != node.ttype:
+        diags.append(error(
+            "V-GRAPH-005", stage,
+            f"{node.op}: node type {node.ttype} disagrees with the "
+            f"re-derived type {derived}", _loc(node)))
+
+
+def _dtype_range(dt: DataType) -> Optional[tuple]:
+    return _DTYPE_RANGES.get(dt.name)
+
+
+def _check_quantization(node: Call, stage: str,
+                        diags: List[Diagnostic]) -> None:
+    """Quantization-attribute legality (shift / clip / constant ranges)."""
+    if node.op == "right_shift":
+        amount = node.inputs[1]
+        if isinstance(amount, Constant):
+            vals = amount.value.data.reshape(-1)
+            if len(vals) and (int(vals.min()) < 0
+                              or int(vals.max()) > _MAX_SHIFT):
+                diags.append(error(
+                    "V-GRAPH-007", stage,
+                    f"right_shift amount {int(vals.min())}..{int(vals.max())}"
+                    f" outside [0, {_MAX_SHIFT}]", _loc(node)))
+    elif node.op == "clip":
+        a_min, a_max = node.attrs["a_min"], node.attrs["a_max"]
+        if a_min > a_max:
+            diags.append(error(
+                "V-GRAPH-007", stage,
+                f"clip bounds inverted: a_min {a_min} > a_max {a_max}",
+                _loc(node)))
+        rng = _dtype_range(node.dtype)
+        if rng is not None and (a_min < rng[0] or a_max > rng[1]):
+            diags.append(error(
+                "V-GRAPH-007", stage,
+                f"clip bounds [{a_min}, {a_max}] exceed the {node.dtype.name}"
+                f" range [{rng[0]}, {rng[1]}]", _loc(node)))
+    elif node.op == "cast":
+        # op.validate_attrs already rejects unknown dtype strings; check
+        # the destination can represent a requantized activation.
+        if node.dtype.name not in _DTYPE_RANGES and \
+                node.dtype.name != "float32":
+            diags.append(error(
+                "V-GRAPH-007", stage,
+                f"cast to unsupported dtype {node.dtype.name!r}",
+                _loc(node)))
+
+
+def _check_constant(node: Constant, stage: str,
+                    diags: List[Diagnostic]) -> None:
+    rng = _dtype_range(node.dtype)
+    if rng is None or node.value.data.size == 0:
+        return
+    lo = int(node.value.data.min())
+    hi = int(node.value.data.max())
+    if lo < rng[0] or hi > rng[1]:
+        diags.append(error(
+            "V-GRAPH-007", stage,
+            f"constant payload range [{lo}, {hi}] exceeds its declared "
+            f"{node.dtype.name} range [{rng[0]}, {rng[1]}]", _loc(node)))
+
+
+def _check_composite(node: Composite, stage: str,
+                     diags: List[Diagnostic]) -> None:
+    body = node.body
+    if not isinstance(body, Graph):
+        diags.append(error(
+            "V-GRAPH-006", stage, "composite body is not a Graph",
+            _loc(node)))
+        return
+    if len(body.inputs) != len(node.inputs):
+        diags.append(error(
+            "V-GRAPH-006", stage,
+            f"body declares {len(body.inputs)} params but the call site "
+            f"supplies {len(node.inputs)} inputs", _loc(node)))
+    for param, inp in zip(body.inputs, node.inputs):
+        if param.ttype != inp.ttype:
+            diags.append(error(
+                "V-GRAPH-006", stage,
+                f"param {param.name!r} type {param.ttype} != supplied "
+                f"input type {inp.ttype}", _loc(node)))
+    if body.output.ttype != node.ttype:
+        diags.append(error(
+            "V-GRAPH-006", stage,
+            f"composite type {node.ttype} != body output type "
+            f"{body.output.ttype}", _loc(node)))
+    # the body is a full graph of its own: recurse with a scoped stage
+    diags.extend(check_graph(body, stage=f"{stage}/{node.pattern_name}"))
+
+
+def check_graph(graph: Graph, stage: str = "graph") -> List[Diagnostic]:
+    """Run every graph invariant check; returns the findings.
+
+    ``stage`` names where in the pipeline the graph came from (e.g.
+    ``"transform:fold_constants"``) so a diagnostic names the transform
+    that produced the broken graph.
+    """
+    diags: List[Diagnostic] = []
+    if not _check_acyclic(graph, stage, diags):
+        return diags  # traversal below would not terminate meaningfully
+
+    reachable = graph.topo_order()
+    _check_vars(graph, stage, reachable, diags)
+
+    seen: Set[int] = set()
+    for node in reachable:
+        if node.node_id in seen:
+            continue
+        seen.add(node.node_id)
+        if isinstance(node, Call):
+            _check_call(node, stage, diags)
+            _check_quantization(node, stage, diags)
+        elif isinstance(node, Constant):
+            _check_constant(node, stage, diags)
+        elif isinstance(node, Composite):
+            _check_composite(node, stage, diags)
+    return diags

@@ -1,0 +1,235 @@
+"""Memory-plan verifier: L2 arena and liveness invariants.
+
+Rebuilds liveness from the compiled schedule and asserts the planner's
+promises hold: every scheduled buffer is planned, temporally live
+buffers never overlap in the arena, the arena accounting is consistent
+and fits the platform's L2, and depth-first patch slabs are large
+enough for their worst-case halo'd extents with correctly alternating
+(disjoint) ping-pong neighbours.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.program import AccelStep, CompiledModel, DepthFirstChain
+from .diagnostics import Diagnostic, error
+
+_STAGE = "memory"
+
+
+def _live_interval(plan, name: str) -> Tuple[int, int]:
+    life = plan.lifetimes[name]
+    return life.start, life.end
+
+
+def _check_coverage(compiled: CompiledModel,
+                    diags: List[Diagnostic]) -> List[str]:
+    """Every scheduled buffer must be fully described by the plan."""
+    plan = compiled.memory_plan
+    names: List[str] = list(compiled.input_names)
+    for step in compiled.steps:
+        for name in list(step.input_names) + [step.output_name]:
+            if name not in names:
+                names.append(name)
+    planned = []
+    for name in names:
+        missing = [part for part, table in
+                   (("offset", plan.offsets), ("size", plan.sizes),
+                    ("lifetime", plan.lifetimes))
+                   if name not in table]
+        if missing:
+            diags.append(error(
+                "V-MEM-001", _STAGE,
+                f"buffer is scheduled but the plan has no "
+                f"{'/'.join(missing)} for it", name))
+        else:
+            planned.append(name)
+    return planned
+
+
+def _check_liveness(compiled: CompiledModel, planned: List[str],
+                    diags: List[Diagnostic]) -> None:
+    """Recorded lifetimes must cover every use in the schedule."""
+    plan = compiled.memory_plan
+    uses: Dict[str, List[int]] = {}
+    for name in compiled.input_names:
+        uses.setdefault(name, [])
+    for idx, step in enumerate(compiled.steps):
+        for name in list(step.input_names) + [step.output_name]:
+            uses.setdefault(name, []).append(idx)
+    for name in planned:
+        start, end = _live_interval(plan, name)
+        for idx in uses.get(name, []):
+            if not start <= idx <= end:
+                diags.append(error(
+                    "V-MEM-005", _STAGE,
+                    f"used at step {idx} but planned live only over "
+                    f"[{start}, {end}]", name))
+                break
+        if name == compiled.output_name and end < len(compiled.steps):
+            diags.append(error(
+                "V-MEM-005", _STAGE,
+                f"network output dies at step {end}, before the end of "
+                f"the program ({len(compiled.steps)})", name))
+
+
+def _check_overlap(compiled: CompiledModel, planned: List[str],
+                   diags: List[Diagnostic]) -> None:
+    """Temporally live buffers must occupy disjoint arena ranges."""
+    plan = compiled.memory_plan
+    entries = sorted(planned, key=lambda n: plan.offsets[n])
+    for i, a in enumerate(entries):
+        a0, a1 = plan.offsets[a], plan.offsets[a] + plan.sizes[a]
+        sa, ea = _live_interval(plan, a)
+        for b in entries[i + 1:]:
+            b0 = plan.offsets[b]
+            if b0 >= a1:
+                break  # sorted by offset: no later entry can overlap a
+            sb, eb = _live_interval(plan, b)
+            if ea < sb or eb < sa:
+                continue  # disjoint in time: sharing memory is the point
+            diags.append(error(
+                "V-MEM-002", _STAGE,
+                f"overlaps buffer {b!r} in the arena "
+                f"([{a0}, {a1}) vs [{b0}, {b0 + plan.sizes[b]})) while "
+                f"both are live (steps [{max(sa, sb)}, {min(ea, eb)}])", a))
+
+
+def _check_arena(compiled: CompiledModel, planned: List[str],
+                 l2_bytes: Optional[int], check_l2: bool,
+                 diags: List[Diagnostic]) -> None:
+    plan = compiled.memory_plan
+    extent = max((plan.offsets[n] + plan.sizes[n] for n in planned),
+                 default=0)
+    if plan.arena_bytes < extent:
+        diags.append(error(
+            "V-MEM-003", _STAGE,
+            f"arena_bytes {plan.arena_bytes} < furthest allocated extent "
+            f"{extent}"))
+    if check_l2 and l2_bytes is not None:
+        need = compiled.size.total + plan.arena_bytes
+        if need > l2_bytes:
+            diags.append(error(
+                "V-MEM-004", _STAGE,
+                f"image {compiled.size.total} B + arena {plan.arena_bytes} B"
+                f" = {need} B exceeds L2 ({l2_bytes} B)"))
+
+
+def _chain_specs(compiled: CompiledModel, chain: DepthFirstChain):
+    specs = []
+    for j in range(chain.length):
+        step = compiled.steps[chain.start + j]
+        if not isinstance(step, AccelStep) or step.spec is None:
+            return None
+        specs.append(step.spec)
+    return specs
+
+
+def _check_depthfirst(compiled: CompiledModel,
+                      diags: List[Diagnostic]) -> None:
+    """Depth-first slabs: extents fit, externals span, ping-pong disjoint."""
+    from ..extensions.depthfirst import analyze_depth_first
+
+    plan = compiled.memory_plan
+    num_steps = len(compiled.steps)
+    for ci, chain in enumerate(compiled.depthfirst_chains):
+        label = f"chain{ci}@step{chain.start}"
+        if (chain.start < 0 or chain.length < 2
+                or chain.stop > num_steps):
+            diags.append(error(
+                "V-MEM-007", _STAGE,
+                f"chain [{chain.start}, {chain.stop}) outside the "
+                f"{num_steps}-step program", label))
+            continue
+        specs = _chain_specs(compiled, chain)
+        if specs is None:
+            diags.append(error(
+                "V-MEM-007", _STAGE,
+                "chain covers a step that is not a spec-carrying "
+                "accelerator step", label))
+            continue
+        try:
+            replan = analyze_depth_first(specs, chain.patch_grid)
+        except Exception as exc:
+            diags.append(error(
+                "V-MEM-007", _STAGE,
+                f"chain is not analyzable patch-wise ({exc})", label))
+            continue
+
+        last = chain.stop - 1
+        interior: List[str] = []
+        for j in range(chain.length - 1):
+            step = compiled.steps[chain.start + j]
+            name = step.output_name
+            interior.append(name)
+            if name not in plan.sizes:
+                continue  # V-MEM-001 already reported
+            full = compiled.buffers[name].size_bytes \
+                if name in compiled.buffers else replan.per_layer_patch_bytes[j]
+            need = min(full, replan.per_layer_patch_bytes[j])
+            if plan.sizes[name] < need:
+                diags.append(error(
+                    "V-MEM-006", _STAGE,
+                    f"allocated slab {plan.sizes[name]} B < worst-case "
+                    f"halo'd patch extent {need} B "
+                    f"(grid {chain.patch_grid})", name))
+
+        # ping-pong alternation: a produced slab and the slab being
+        # produced from it coexist, so consecutive interiors must be
+        # disjoint in the arena (non-consecutive ones may alternate).
+        for a, b in zip(interior, interior[1:]):
+            if a not in plan.offsets or b not in plan.offsets:
+                continue
+            a0, a1 = plan.offsets[a], plan.offsets[a] + plan.sizes[a]
+            b0, b1 = plan.offsets[b], plan.offsets[b] + plan.sizes[b]
+            if a1 > b0 and b1 > a0:
+                diags.append(error(
+                    "V-MEM-007", _STAGE,
+                    f"consecutive slabs {a!r} and {b!r} share arena "
+                    f"range [{max(a0, b0)}, {min(a1, b1)}) — ping-pong "
+                    "alternation violated", label))
+
+        # every external operand (chain input, residual skips) is read
+        # per patch until the chain completes; the chain output is
+        # written from the first patch on.
+        produced = {compiled.steps[chain.start + j].output_name
+                    for j in range(chain.length)}
+        for j in range(chain.length):
+            step = compiled.steps[chain.start + j]
+            for name in step.input_names:
+                if name in produced or name not in plan.lifetimes:
+                    continue
+                if plan.lifetimes[name].end < last:
+                    diags.append(error(
+                        "V-MEM-007", _STAGE,
+                        f"external operand dies at step "
+                        f"{plan.lifetimes[name].end} but the fused chain "
+                        f"reads it until step {last}", name))
+        out_name = compiled.steps[last].output_name
+        if (out_name in plan.lifetimes
+                and plan.lifetimes[out_name].start > chain.start):
+            diags.append(error(
+                "V-MEM-007", _STAGE,
+                f"chain output {out_name!r} is born at step "
+                f"{plan.lifetimes[out_name].start} but patches are "
+                f"written from step {chain.start} on", label))
+
+
+def check_memory_plan(compiled: CompiledModel,
+                      l2_bytes: Optional[int] = None,
+                      check_l2: bool = True) -> List[Diagnostic]:
+    """Run every memory-plan invariant check; returns the findings.
+
+    ``l2_bytes`` is the platform capacity for the V-MEM-004 budget
+    check (omit to skip it, e.g. for a plan built for an unknown
+    platform); ``check_l2`` mirrors ``CompilerConfig.check_l2``.
+    """
+    diags: List[Diagnostic] = []
+    planned = _check_coverage(compiled, diags)
+    _check_liveness(compiled, planned, diags)
+    _check_overlap(compiled, planned, diags)
+    _check_arena(compiled, planned, l2_bytes, check_l2, diags)
+    if compiled.depthfirst_chains:
+        _check_depthfirst(compiled, diags)
+    return diags

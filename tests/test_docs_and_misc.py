@@ -14,7 +14,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 class TestDocs:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/COSTMODEL.md",
-        "docs/SERVING.md", "docs/DEPTHFIRST.md"])
+        "docs/SERVING.md", "docs/DEPTHFIRST.md", "docs/CHECKS.md"])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name
         assert path.exists(), name
