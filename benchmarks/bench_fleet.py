@@ -1,0 +1,212 @@
+"""Fleet serving benchmark: tail latency under load and under chaos.
+
+Measures the supervised multi-process :class:`~repro.serve.ServingFleet`
+on resnet8 (fast execution mode, 2 workers) and writes
+``BENCH_fleet.json``:
+
+* **latency vs. offered load** — closed-loop client sweep (1, 2, 4, 8
+  clients), p50/p99/throughput per point, all requests accounted
+  (``lost`` must be 0 at every point);
+* **single-worker-kill chaos** — the same 4-client load with a
+  deterministic fault plan that kills one of the two workers
+  mid-run. The fleet must retry the orphaned request, restart the
+  worker, and keep the p99 within ``MAX_P99_INFLATION`` (2x) of the
+  fault-free 4-client baseline — the headline robustness number.
+
+Runs standalone (``python benchmarks/bench_fleet.py``) and under
+pytest (quick sizes, invariant assertions only).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+from repro.eval.harness import CONFIGS
+from repro.eval.loadgen import run_load
+from repro.frontend.modelzoo import MLPERF_TINY
+from repro.serve import FaultPlan, FaultRule, FleetConfig, ServingFleet, \
+    pack_model
+from repro.serve.resilience import RetryPolicy
+from repro.soc import DianaSoC
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_fleet.json"
+MODEL = "resnet"
+CONFIG = "digital"
+L1_BUDGET = 16 * 1024  # as in bench_serve: genuinely tiled schedules
+WORKERS = 2
+CLIENT_SWEEP = (1, 2, 4, 8)
+CHAOS_CLIENTS = 4
+REQUESTS_PER_CLIENT = 150
+MAX_P99_INFLATION = 2.0
+
+
+class FleetBenchError(AssertionError):
+    """A fleet invariant (zero lost, bounded p99) did not hold."""
+
+
+def _fleet_config(faults=None) -> FleetConfig:
+    """Fast-recovery tuning: crash detection and retry backoff well
+    under one p99 so a worker kill stays inside the latency budget."""
+    return FleetConfig(
+        workers=WORKERS, exec_mode="fast", tick_s=0.005,
+        restart_base_s=0.02,
+        retry=RetryPolicy(max_attempts=4, base_delay_s=0.02,
+                          max_delay_s=0.5),
+        queue_limit=256, shed_watermark=256, faults=faults)
+
+
+def _kill_one_worker_plan(nth: int) -> FaultPlan:
+    """Deterministic chaos: worker 0's first incarnation dies on its
+    ``nth`` request (SIGKILL-like, request in hand)."""
+    return FaultPlan(seed=7, rules=(
+        FaultRule(kind="crash", worker=0, gen=0, nth=(nth,)),))
+
+
+def _run_point(path, clients, requests_per_client, faults=None,
+               random_inputs=None):
+    with ServingFleet(_fleet_config(faults)) as fleet:
+        key = fleet.add_deployment(str(path), key="bench")
+        if not fleet.wait_ready(key, timeout=120):
+            raise FleetBenchError("fleet worker(s) failed to become ready")
+        fleet.infer(key, random_inputs, timeout=60)  # warm both workers
+        fleet.infer(key, random_inputs, timeout=60)
+        load = run_load(fleet, key, random_inputs, clients=clients,
+                        requests_per_client=requests_per_client,
+                        deadline_s=60.0)
+        stats = fleet.stats()[key]
+    if load.lost:
+        raise FleetBenchError(f"{load.lost} lost request(s) at "
+                              f"{clients} client(s)")
+    if load.completed + load.failed != load.accepted:
+        raise FleetBenchError("accepted requests not fully accounted")
+    return load, stats
+
+
+def run_bench(requests_per_client=REQUESTS_PER_CLIENT, write=True) -> dict:
+    from repro.runtime import random_inputs
+
+    precision, soc_kwargs, cfg = CONFIGS[CONFIG]
+    graph = MLPERF_TINY[MODEL](precision=precision)
+    soc = DianaSoC(**soc_kwargs)
+    feeds = random_inputs(graph, seed=0)
+
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+        path = pathlib.Path(tmp) / "bench.dna"
+        pack_model(graph, soc, cfg.with_overrides(l1_budget=L1_BUDGET),
+                   str(path), validate_runs=1)
+
+        sweep = []
+        for clients in CLIENT_SWEEP:
+            load, _ = _run_point(path, clients, requests_per_client,
+                                 random_inputs=feeds)
+            lat = load.latency_summary()
+            sweep.append({
+                "clients": clients,
+                "requests": load.issued,
+                "completed": load.completed,
+                "lost": load.lost,
+                "throughput_rps": round(load.throughput_rps, 1),
+                "p50_ms": lat["p50_ms"],
+                "p99_ms": lat["p99_ms"],
+            })
+
+        # chaos: kill one of the two workers mid-load at 4 clients
+        nth = max(requests_per_client * CHAOS_CLIENTS // (2 * WORKERS), 2)
+        chaos_load, chaos_stats = _run_point(
+            path, CHAOS_CLIENTS, requests_per_client,
+            faults=_kill_one_worker_plan(nth), random_inputs=feeds)
+        if chaos_stats["restarts"] < 1:
+            raise FleetBenchError("chaos run killed no worker")
+
+    base = next(p for p in sweep if p["clients"] == CHAOS_CLIENTS)
+    chaos_lat = chaos_load.latency_summary()
+    inflation = chaos_lat["p99_ms"] / max(base["p99_ms"], 1e-9)
+    record = {
+        "model": MODEL,
+        "config": CONFIG,
+        "exec_mode": "fast",
+        "workers": WORKERS,
+        "requests_per_client": requests_per_client,
+        "sweep": sweep,
+        "chaos": {
+            "clients": CHAOS_CLIENTS,
+            "fault": f"kill worker 0 on request {nth}",
+            "requests": chaos_load.issued,
+            "completed": chaos_load.completed,
+            "failed": chaos_load.failed,
+            "lost": chaos_load.lost,
+            "retried": chaos_stats["retried"],
+            "restarts": chaos_stats["restarts"],
+            "throughput_rps": round(chaos_load.throughput_rps, 1),
+            "p50_ms": chaos_lat["p50_ms"],
+            "p99_ms": chaos_lat["p99_ms"],
+        },
+        "p99_inflation_under_chaos": round(inflation, 3),
+        "max_p99_inflation": MAX_P99_INFLATION,
+    }
+    if write:
+        OUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def _format(record: dict) -> str:
+    lines = [f"fleet bench ({record['model']}8 {record['config']}, "
+             f"{record['workers']} workers, fast mode):",
+             "  clients   req/s    p50 ms    p99 ms   lost"]
+    for p in record["sweep"]:
+        lines.append(f"  {p['clients']:>7}  {p['throughput_rps']:>6.1f}  "
+                     f"{p['p50_ms']:>8.2f}  {p['p99_ms']:>8.2f}  "
+                     f"{p['lost']:>5}")
+    c = record["chaos"]
+    lines.append(
+        f"  chaos ({c['fault']}): {c['throughput_rps']:.1f} req/s  "
+        f"p50 {c['p50_ms']:.2f} ms  p99 {c['p99_ms']:.2f} ms  "
+        f"lost {c['lost']}  retried {c['retried']}  "
+        f"restarts {c['restarts']}")
+    lines.append(
+        f"  p99 inflation under single-worker kill: "
+        f"{record['p99_inflation_under_chaos']:.2f}x "
+        f"(budget {record['max_p99_inflation']:.1f}x)")
+    return "\n".join(lines)
+
+
+def test_fleet_latency(report):
+    """Quick sizes: the accounting invariants must hold exactly; the
+    committed BENCH_fleet.json documents the full-size tail-latency
+    margin."""
+    record = run_bench(requests_per_client=12, write=False)
+    for point in record["sweep"]:
+        assert point["lost"] == 0
+        assert point["completed"] == point["requests"]
+    assert record["chaos"]["lost"] == 0
+    assert record["chaos"]["restarts"] >= 1
+    report(_format(record))
+
+
+def main(argv=None) -> int:
+    global OUT
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests-per-client", type=int,
+                        default=REQUESTS_PER_CLIENT)
+    parser.add_argument("--out", default=str(OUT))
+    args = parser.parse_args(argv)
+    OUT = pathlib.Path(args.out)
+    try:
+        record = run_bench(requests_per_client=args.requests_per_client)
+        if record["p99_inflation_under_chaos"] > MAX_P99_INFLATION:
+            raise FleetBenchError(
+                f"p99 inflated {record['p99_inflation_under_chaos']:.2f}x "
+                f"under chaos (budget {MAX_P99_INFLATION}x)")
+    except FleetBenchError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(_format(record))
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

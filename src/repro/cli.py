@@ -535,9 +535,91 @@ def _serve_interactive(server, served, args) -> int:
     return 0
 
 
+def _fleet_register(fleet, spec: str, args, tmpdir: str):
+    """Register one ``--fleet`` positional: artifact path or zoo name.
+
+    The fleet hands workers an artifact *path*, so zoo names are
+    compiled and packed to a temporary ``.dna`` first.
+    """
+    from .serve import load_artifact, pack_model
+
+    if os.path.exists(spec) or spec.endswith(".dna"):
+        art = load_artifact(spec)  # parent-side load only for feeds
+        return fleet.add_deployment(spec, key=art.key), art.model
+    precision, soc, cfg = _setup(args.config, args)
+    graph = _load_model(spec, precision)
+    path = os.path.join(tmpdir, f"{spec}.dna")
+    compiled = pack_model(graph, soc, cfg, path)
+    return fleet.add_deployment(path, key=spec), compiled
+
+
+def _chaos_plan(seed: int):
+    """The canned ``--chaos`` mix: every runtime fault kind at a low,
+    seeded rate (see docs/RESILIENCE.md for the matrix)."""
+    from .serve import FaultPlan, FaultRule
+
+    return FaultPlan(seed=seed, rules=(
+        FaultRule(kind="crash", rate=0.03),
+        FaultRule(kind="oom_crash", rate=0.01),
+        FaultRule(kind="hang", rate=0.02, param=0.4),
+        FaultRule(kind="exec_error", rate=0.02),
+        FaultRule(kind="queue_full", rate=0.02),
+    ))
+
+
+def _serve_fleet(args) -> int:
+    """``repro serve --fleet``: multi-process supervised serving."""
+    import tempfile
+
+    from .eval.loadgen import format_load_report, run_load
+    from .serve import FleetConfig, ServingFleet
+
+    cfg = FleetConfig(
+        workers=args.workers, exec_mode=args.exec_mode,
+        default_deadline_s=(args.deadline_ms / 1e3
+                            if args.deadline_ms else None),
+        faults=_chaos_plan(args.chaos_seed) if args.chaos else None,
+        fallback_exec_mode="tiled" if args.exec_mode != "tiled" else None,
+    )
+    rc = 0
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-") as tmpdir, \
+            ServingFleet(cfg) as fleet:
+        served = {}
+        for spec in args.models:
+            key, compiled = _fleet_register(fleet, spec, args, tmpdir)
+            print(f"deployment {key}: {args.workers} worker(s), "
+                  f"exec_mode={args.exec_mode}"
+                  + (" [chaos]" if args.chaos else ""))
+            served[key] = compiled
+        for key in served:
+            if not fleet.wait_ready(key, timeout=120):
+                print(f"error: deployment {key} failed to become ready",
+                      file=sys.stderr)
+                return 1
+        n = args.requests or 32
+        per_client = max(n // max(args.clients, 1), 1)
+        for key, compiled in served.items():
+            feeds = random_inputs(compiled.graph, seed=args.seed)
+            report = run_load(fleet, key, feeds, clients=args.clients,
+                              requests_per_client=per_client,
+                              deadline_s=cfg.default_deadline_s)
+            print(f"\n{key}:")
+            print(format_load_report(report))
+            if report.lost or (not args.chaos and report.failed):
+                rc = 1
+        print()
+        print(fleet.format_stats())
+        if rc:
+            print("FAIL: lost or failed requests (see above)",
+                  file=sys.stderr)
+    return rc
+
+
 def cmd_serve(args) -> int:
     from .serve import InferenceServer
 
+    if args.fleet:
+        return _serve_fleet(args)
     server = InferenceServer(
         capacity=args.capacity, max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms, exec_mode=args.exec_mode)
@@ -788,6 +870,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="byte-compare every load-mode response against "
                         "the reference interpreter")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fleet", action="store_true",
+                   help="serve through the supervised multi-process "
+                        "fleet instead of the in-process server")
+    p.add_argument("--workers", type=int, default=2,
+                   help="fleet worker processes per deployment "
+                        "(default: %(default)s)")
+    p.add_argument("--deadline-ms", type=float, default=30000.0,
+                   help="fleet per-request deadline in ms, 0 = none "
+                        "(default: %(default)s)")
+    p.add_argument("--chaos", action="store_true",
+                   help="fleet mode: inject the canned seeded fault mix "
+                        "(crashes, hangs, OOM, queue-full)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for --chaos fault injection "
+                        "(default: %(default)s)")
     add_cache_args(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)

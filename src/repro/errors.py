@@ -4,9 +4,17 @@ Every error raised by the library derives from :class:`ReproError`, so
 callers can catch one base class. Sub-classes mirror the stages of the
 compilation flow: IR construction, graph transformation, dispatching,
 DORY back-end code generation, and simulated execution.
+
+Serving errors additionally carry a **stable machine-readable code**
+(``S-*``, the runtime-side sibling of the ``V-*`` static-diagnostic
+vocabulary in :mod:`repro.verify`) and a ``retryable`` flag telling
+clients whether the same request may succeed if resubmitted (see
+``docs/RESILIENCE.md`` for the full taxonomy).
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -67,4 +75,112 @@ class VerificationError(ReproError):
 
 
 class ServingError(ReproError):
-    """The inference server was misused (unknown model, shut down, ...)."""
+    """The inference server was misused (unknown model, shut down, ...).
+
+    Base of the serving-error taxonomy. ``code`` is a stable
+    machine-readable identifier (``S-*``); ``retryable`` tells clients
+    whether resubmitting the identical request can succeed. Both may be
+    overridden per instance (e.g. a generic :class:`ServingError`
+    raised at shutdown carries ``code="S-SHUTDOWN"``).
+    """
+
+    code: str = "S-GENERIC"
+    retryable: bool = False
+
+    def __init__(self, message: str = "", *, code: Optional[str] = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class ServingTimeoutError(ServingError):
+    """A request missed its deadline (queued, executing, or while the
+    caller waited on its future). Terminal: the deadline has passed.
+
+    ``model`` is the registry key of the deployment the request was
+    bound for and ``elapsed_s`` the wall-clock the request had been
+    outstanding when the timeout fired.
+    """
+
+    code = "S-TIMEOUT"
+    retryable = False
+
+    def __init__(self, message: str, *, model: Optional[str] = None,
+                 elapsed_s: Optional[float] = None):
+        super().__init__(message)
+        self.model = model
+        self.elapsed_s = elapsed_s
+
+
+class ServingOverloadError(ServingError):
+    """Admission control rejected the request (queue over its
+    watermark, or a low-priority request shed under pressure).
+
+    Fast-fail backpressure: the request was never accepted, nothing is
+    lost, and ``retry_after`` hints how long (seconds) the client
+    should wait before resubmitting.
+    """
+
+    code = "S-OVERLOAD"
+    retryable = True
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None,
+                 model: Optional[str] = None, shed: bool = False):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.model = model
+        #: True when the request was dropped by priority shedding
+        #: rather than the hard queue limit.
+        self.shed = shed
+
+
+class ServingUnavailableError(ServingError):
+    """The deployment cannot currently serve: its circuit breaker is
+    open, or it failed terminally (e.g. a corrupt artifact).
+
+    ``retry_after`` is the breaker's remaining recovery window;
+    ``None`` means the condition is permanent (``retryable`` is then
+    also False on the instance).
+    """
+
+    code = "S-UNAVAILABLE"
+    retryable = True
+
+    def __init__(self, message: str, *, retry_after: Optional[float] = None,
+                 model: Optional[str] = None, terminal: bool = False):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.model = model
+        if terminal:
+            self.retryable = False
+
+
+class WorkerCrashError(ServingError):
+    """A fleet worker died (crash, kill, or OOM) while holding the
+    request. Retryable: the fleet retries internally with backoff and
+    surfaces this only once the retry budget or deadline is exhausted.
+    """
+
+    code = "S-CRASH"
+    retryable = True
+
+    def __init__(self, message: str, *, model: Optional[str] = None,
+                 worker: Optional[int] = None):
+        super().__init__(message)
+        self.model = model
+        self.worker = worker
+
+
+class ServingExecutionError(ServingError):
+    """The deployment executed and failed deterministically (bad input
+    shape, simulator fault). Terminal: retrying the same request will
+    fail the same way.
+    """
+
+    code = "S-EXEC"
+    retryable = False
+
+    def __init__(self, message: str, *, model: Optional[str] = None,
+                 code: Optional[str] = None):
+        super().__init__(message, code=code)
+        self.model = model

@@ -27,19 +27,50 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..errors import ServingError
+from ..errors import ServingError, ServingTimeoutError
 
 #: sentinel enqueued by :meth:`DynamicBatcher.stop`.
 _STOP = object()
 
 
+def normalize_feeds(compiled, feeds: Dict[str, np.ndarray],
+                    name: Optional[str] = None) -> Dict[str, np.ndarray]:
+    """Validate one single-sample request against a compiled model.
+
+    Arrays without the leading batch dimension are accepted and
+    reshaped to ``(1, ...)``; missing inputs and shape mismatches raise
+    :class:`ServingError`. Shared by the in-process batcher and the
+    fleet workers so both front doors reject malformed requests the
+    same way.
+    """
+    label = name or compiled.name
+    normalized = {}
+    for in_name in compiled.input_names:
+        if in_name not in feeds:
+            raise ServingError(f"{label}: missing input {in_name!r}",
+                               code="S-INPUT")
+        arr = np.asarray(feeds[in_name])
+        expected = tuple(compiled.buffers[in_name].ttype.shape)
+        if arr.shape == expected[1:]:
+            arr = arr[None, ...]
+        if arr.shape != (1,) + expected[1:]:
+            raise ServingError(
+                f"{label}: input {in_name!r} expected "
+                f"{(1,) + expected[1:]}, got {arr.shape}", code="S-INPUT")
+        normalized[in_name] = arr
+    return normalized
+
+
 class InferenceFuture:
     """Handle to one queued request; resolved by the batcher worker."""
 
-    def __init__(self):
+    def __init__(self, model: Optional[str] = None):
         self._event = threading.Event()
         self._output: Optional[np.ndarray] = None
         self._error: Optional[BaseException] = None
+        self._t_create = time.monotonic()
+        #: registry key / batcher name this request was bound for
+        self.model = model
         #: filled by the batcher: wall seconds spent queued + executing
         self.wall_s: Optional[float] = None
         #: modeled cycles of the inference (input-independent)
@@ -51,9 +82,18 @@ class InferenceFuture:
         return self._event.is_set()
 
     def result(self, timeout: Optional[float] = None) -> np.ndarray:
-        """Block until resolved; re-raises the worker-side error."""
+        """Block until resolved; re-raises the worker-side error.
+
+        A timeout raises :class:`~repro.errors.ServingTimeoutError`
+        naming the model and the elapsed wall-clock — the wait timing
+        out does *not* cancel the request, which may still resolve.
+        """
         if not self._event.wait(timeout):
-            raise ServingError("inference timed out")
+            elapsed = time.monotonic() - self._t_create
+            raise ServingTimeoutError(
+                f"inference timed out after {elapsed:.3f}s"
+                + (f" waiting on {self.model}" if self.model else ""),
+                model=self.model, elapsed_s=elapsed)
         if self._error is not None:
             raise self._error
         return self._output
@@ -98,6 +138,27 @@ class BatcherStats:
             else 0.0
 
 
+@dataclass
+class DrainReport:
+    """What happened to in-flight requests during a batcher drain.
+
+    ``pending_at_stop`` requests were accepted but unresolved when
+    :meth:`DynamicBatcher.stop` took effect; each then either
+    ``drained`` (executed and resolved), ``failed`` (resolved with an
+    error), or — only if the drain timed out — is still ``unresolved``.
+    """
+
+    pending_at_stop: int = 0
+    drained: int = 0
+    failed: int = 0
+    unresolved: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.drained} drained, {self.failed} failed, "
+                f"{self.unresolved} unresolved "
+                f"(of {self.pending_at_stop} pending at stop)")
+
+
 class DynamicBatcher:
     """Queue + worker thread coalescing requests for one compiled model.
 
@@ -133,6 +194,9 @@ class DynamicBatcher:
         self._submit_lock = threading.Lock()
         self._stopping = False
         self._pending = 0  #: submitted but not yet resolved requests
+        self._pending_at_stop = 0  #: snapshot when stop() took effect
+        self._drain_ok = 0         #: resolved OK after stop() began
+        self._drain_err = 0        #: resolved with error after stop()
         self._thread = threading.Thread(
             target=self._loop, name=f"batcher-{self.name}", daemon=True)
         self._thread.start()
@@ -147,20 +211,8 @@ class DynamicBatcher:
         check and the enqueue are atomic w.r.t. the stop sentinel, so
         an accepted request is always ahead of it and gets drained.
         """
-        normalized = {}
-        for name in self.compiled.input_names:
-            if name not in feeds:
-                raise ServingError(f"{self.name}: missing input {name!r}")
-            arr = np.asarray(feeds[name])
-            expected = tuple(self.compiled.buffers[name].ttype.shape)
-            if arr.shape == expected[1:]:
-                arr = arr[None, ...]
-            if arr.shape != (1,) + expected[1:]:
-                raise ServingError(
-                    f"{self.name}: input {name!r} expected "
-                    f"{(1,) + expected[1:]}, got {arr.shape}")
-            normalized[name] = arr
-        fut = InferenceFuture()
+        normalized = normalize_feeds(self.compiled, feeds, self.name)
+        fut = InferenceFuture(model=self.name)
         with self._submit_lock:
             if self._stopping:
                 raise ServingError(f"{self.name}: batcher is shut down")
@@ -180,6 +232,12 @@ class DynamicBatcher:
         with self._submit_lock:
             return self._pending
 
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` ran and the worker thread exited."""
+        with self._submit_lock:
+            return self._stopping and not self._thread.is_alive()
+
     def stats(self) -> BatcherStats:
         """A consistent copy of the running counters."""
         with self._stats_lock:
@@ -189,23 +247,42 @@ class DynamicBatcher:
             snap.batch_size_counts = dict(self._stats.batch_size_counts)
         return snap
 
-    def stop(self, wait: bool = True, timeout: float = 30.0):
+    def stop(self, wait: bool = True, timeout: float = 30.0) -> DrainReport:
         """Graceful shutdown: drain queued requests, then exit.
 
         New submissions are rejected immediately; requests already
         accepted are still executed (in maximal batches) before the
         worker exits, so every returned future resolves exactly once.
+        Returns a :class:`DrainReport` saying how many of the requests
+        pending at stop time drained cleanly vs. failed; with
+        ``wait=False`` the report is a point-in-time snapshot (the
+        worker keeps draining in the background and ``unresolved``
+        counts the remainder).
         """
         with self._submit_lock:
             if not self._stopping:
                 self._stopping = True
+                self._pending_at_stop = self._pending
                 self._queue.put(_STOP)
         if wait:
             self._thread.join(timeout)
             if self._thread.is_alive():
                 raise ServingError(
                     f"{self.name}: batcher failed to drain within "
-                    f"{timeout}s")
+                    f"{timeout}s ({self.drain_report()})")
+        return self.drain_report()
+
+    def drain_report(self) -> DrainReport:
+        """Snapshot of the drain bookkeeping (see :meth:`stop`).
+
+        Invariant (all four fields move under the submit lock):
+        ``pending_at_stop == drained + failed + unresolved``.
+        """
+        with self._submit_lock:
+            return DrainReport(pending_at_stop=self._pending_at_stop,
+                               drained=self._drain_ok,
+                               failed=self._drain_err,
+                               unresolved=self._pending)
 
     # -- worker side ---------------------------------------------------------
 
@@ -259,6 +336,8 @@ class DynamicBatcher:
                 r.future._fail(exc)
             with self._submit_lock:
                 self._pending -= len(batch)
+                if self._stopping:
+                    self._drain_err += len(batch)
             return
         t1 = time.monotonic()
         cycles = result.perf.total_cycles
@@ -281,3 +360,5 @@ class DynamicBatcher:
             r.future._resolve(result.outputs[i:i + 1])
         with self._submit_lock:
             self._pending -= len(batch)
+            if self._stopping:
+                self._drain_ok += len(batch)

@@ -1,0 +1,176 @@
+"""Deterministic, seedable fault injection for the serving fleet.
+
+Chaos testing only works when every failure is reproducible: a flaky
+chaos test is worse than none. This module therefore keeps all
+randomness inside per-scope :class:`random.Random` instances derived
+from one plan seed, and lets rules target faults *exactly* (worker
+index, restart generation, n-th request) instead of probabilistically
+when a test wants a scripted failure.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` entries threaded
+through :class:`~repro.serve.fleet.FleetConfig`; each fleet worker
+derives its own :class:`FaultInjector` (scoped by deployment key,
+worker index and restart generation) and consults it at the injection
+points below. The parent process derives one admission-scoped injector
+per deployment for ``queue_full``.
+
+Fault kinds (the chaos-test matrix in ``docs/RESILIENCE.md`` maps each
+to the recovery path it exercises):
+
+===============  ==========================================  =========
+kind             effect                                      side
+===============  ==========================================  =========
+``crash_start``  worker exits before loading the artifact    worker
+``slow_start``   worker sleeps ``param`` s before loading    worker
+``crash``        worker exits mid-request (SIGKILL-like)     worker
+``oom_crash``    worker exits with the OOM exit code         worker
+``hang``         worker sleeps ``param`` s holding a request worker
+``exec_error``   request fails deterministically             worker
+``queue_full``   admission rejects as if over the watermark  parent
+===============  ==========================================  =========
+
+Artifact corruption is injected on disk instead (the fleet's failure
+surface is the ``load_artifact(verify=True)`` gate):
+:func:`corrupt_artifact` deterministically flips bytes inside the
+compressed payload so the load fails its integrity checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ServingError
+
+__all__ = ["FaultRule", "FaultPlan", "FaultInjector", "corrupt_artifact",
+           "FAULT_KINDS"]
+
+FAULT_KINDS = ("crash_start", "slow_start", "crash", "oom_crash", "hang",
+               "exec_error", "queue_full")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule; unset constraints match everything.
+
+    ``nth`` schedules the fault on exact 1-based event ordinals (a
+    worker counts its requests per process lifetime; admission counts
+    submit attempts per deployment) — deterministic, for scripted
+    chaos. ``rate`` is a per-event Bernoulli probability drawn from the
+    scope's seeded RNG — statistical, for soak-style chaos. A rule
+    needs exactly one of the two. ``param`` parameterizes the fault
+    (sleep seconds for ``slow_start``/``hang``).
+    """
+
+    kind: str
+    key: Optional[str] = None      #: deployment key ("" prefix-free match)
+    worker: Optional[int] = None   #: deployment-local worker index
+    gen: Optional[int] = None      #: restart generation (0 = first start)
+    nth: Tuple[int, ...] = ()      #: fire on these event ordinals (1-based)
+    rate: float = 0.0              #: else: Bernoulli per event
+    param: Optional[float] = None  #: fault parameter (seconds)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ServingError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+        if bool(self.nth) == bool(self.rate):
+            raise ServingError(
+                f"fault rule {self.kind!r} needs exactly one of nth= or "
+                f"rate=")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ServingError(f"rate must be in [0, 1], got {self.rate}")
+
+    def matches_scope(self, key: str, worker: Optional[int],
+                      gen: Optional[int]) -> bool:
+        if self.key is not None and self.key != key:
+            return False
+        if self.worker is not None and self.worker != worker:
+            return False
+        if self.gen is not None and self.gen != gen:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault rules, shared by parent and workers.
+
+    The plan is immutable and picklable: it crosses the process
+    boundary at worker spawn. Per-scope injectors derive their RNG from
+    ``(seed, scope)`` so two workers never share a random stream and
+    re-running the same plan replays the same faults.
+    """
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def for_worker(self, key: str, worker: int, gen: int) -> "FaultInjector":
+        rules = tuple(r for r in self.rules
+                      if r.kind != "queue_full"
+                      and r.matches_scope(key, worker, gen))
+        return FaultInjector(rules, self.seed, ("worker", key, worker, gen))
+
+    def for_admission(self, key: str) -> "FaultInjector":
+        rules = tuple(r for r in self.rules
+                      if r.kind == "queue_full"
+                      and r.matches_scope(key, None, None))
+        return FaultInjector(rules, self.seed, ("admission", key))
+
+
+class FaultInjector:
+    """Scope-local fault decisions (deterministic given plan seed).
+
+    Not thread-safe by design: each injector belongs to exactly one
+    worker process or one lock-guarded admission path.
+    """
+
+    def __init__(self, rules: Tuple[FaultRule, ...], seed: int,
+                 scope: Tuple):
+        self._rules = rules
+        digest = hashlib.sha256(repr((seed, scope)).encode()).digest()
+        self._rng = random.Random(int.from_bytes(digest[:8], "big"))
+        self._counts: dict = {}
+
+    @classmethod
+    def none(cls) -> "FaultInjector":
+        return cls((), 0, ("none",))
+
+    def fires(self, kind: str) -> Optional[FaultRule]:
+        """Check (and count) one injection point; returns the firing
+        rule so callers can read ``param``. Each call advances the
+        per-kind event ordinal exactly once."""
+        n = self._counts[kind] = self._counts.get(kind, 0) + 1
+        for rule in self._rules:
+            if rule.kind != kind:
+                continue
+            if rule.nth:
+                if n in rule.nth:
+                    return rule
+            elif self._rng.random() < rule.rate:
+                return rule
+        return None
+
+
+def corrupt_artifact(path: str, seed: int = 0, nbytes: int = 8) -> None:
+    """Deterministically flip ``nbytes`` bytes inside a ``.dna`` file.
+
+    Skips the first 10 bytes (gzip header) so the damage lands in the
+    compressed payload — the load then fails either gzip's CRC or the
+    artifact's own fingerprint/geometry cross-checks, exercising the
+    ``load_artifact(verify=True)`` failure path a fleet worker hits on
+    a corrupt deployment.
+    """
+    with open(path, "rb") as f:
+        raw = bytearray(f.read())
+    if len(raw) <= 10:
+        raise ServingError(f"artifact {path!r} too small to corrupt")
+    rng = random.Random(seed)
+    for _ in range(nbytes):
+        pos = rng.randrange(10, len(raw))
+        raw[pos] ^= 0xFF
+    with open(path, "wb") as f:
+        f.write(bytes(raw))

@@ -1,0 +1,223 @@
+"""Robustness primitives shared by the serving fleet.
+
+Three small, independently testable building blocks (see
+``docs/RESILIENCE.md`` for parameter guidance):
+
+* :class:`RetryPolicy` — exponential backoff with bounded,
+  deterministic jitter. All randomness flows through a caller-supplied
+  :class:`random.Random`, so chaos tests replay identical delay
+  sequences from a seed.
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  machine, one per deployment. Consecutive failures trip it open;
+  after ``recovery_s`` a bounded number of probe requests are let
+  through; a probe success closes it, a probe failure re-opens it. The
+  clock is injectable so state transitions are unit-testable without
+  sleeping.
+* :class:`CrashLoopBackoff` — restart pacing for supervised workers: a
+  worker that keeps dying restarts with exponentially growing delays,
+  and a quiet period (``reset_after_s``) forgives the streak.
+
+None of these know about processes, queues, or models — the fleet
+composes them.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ServingError
+
+__all__ = [
+    "RetryPolicy", "CircuitBreaker", "CrashLoopBackoff",
+    "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts *total* attempts including the first
+    dispatch, so ``max_attempts=1`` disables retries. The delay before
+    attempt ``k+1`` (after the ``k``-th failed) is
+    ``min(base_delay_s * multiplier**(k-1), max_delay_s)``, jittered
+    down by up to ``jitter`` of itself: the result lies in
+    ``[raw * (1 - jitter), raw]``. Jitter draws from the supplied
+    ``rng`` only, so a seeded :class:`random.Random` makes the whole
+    sequence reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ServingError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ServingError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retrying after the ``attempt``-th failure
+        (1-based)."""
+        if attempt < 1:
+            raise ServingError(f"attempt is 1-based, got {attempt}")
+        raw = min(self.base_delay_s * self.multiplier ** (attempt - 1),
+                  self.max_delay_s)
+        if self.jitter == 0.0:
+            return raw
+        return raw * (1.0 - self.jitter * rng.random())
+
+    def allows(self, attempts_so_far: int) -> bool:
+        """True while another attempt fits the budget."""
+        return attempts_so_far < self.max_attempts
+
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-deployment circuit breaker (thread-safe).
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip it open (any success resets the streak).
+    * **open** — :meth:`blocked` is True until ``recovery_s`` elapses;
+      admission fast-fails without touching the queue.
+    * **half-open** — after recovery, :meth:`allow` hands out at most
+      ``half_open_probes`` probe slots; a recorded success closes the
+      breaker, a failure re-opens it (restarting the recovery clock).
+
+    :meth:`allow` *consumes* a probe slot and is meant for the dispatch
+    side; :meth:`blocked` is a read-only check for the admission side.
+    ``transitions`` keeps an append-only ``(from, to)`` log so tests
+    can assert the exact path taken.
+    """
+
+    def __init__(self, failure_threshold: int = 5, recovery_s: float = 1.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = ""):
+        if failure_threshold < 1:
+            raise ServingError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if half_open_probes < 1:
+            raise ServingError(
+                f"half_open_probes must be >= 1, got {half_open_probes}")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.half_open_probes = half_open_probes
+        self.name = name
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_left = 0
+        self.transitions: List[Tuple[str, str]] = []
+
+    # -- state inspection ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def blocked(self) -> bool:
+        """True while open and the recovery window has not elapsed."""
+        with self._lock:
+            return (self._state == BREAKER_OPEN
+                    and self._clock() - self._opened_at < self.recovery_s)
+
+    def retry_after(self) -> Optional[float]:
+        """Remaining recovery seconds, or None when not blocking."""
+        with self._lock:
+            if self._state != BREAKER_OPEN:
+                return None
+            remaining = self.recovery_s - (self._clock() - self._opened_at)
+            return max(remaining, 0.0)
+
+    # -- state machine -------------------------------------------------------
+
+    def _transition(self, to: str):
+        if self._state != to:
+            self.transitions.append((self._state, to))
+            self._state = to
+
+    def allow(self) -> bool:
+        """Dispatch-side gate; consumes a probe slot when half-open."""
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                if self._clock() - self._opened_at < self.recovery_s:
+                    return False
+                self._transition(BREAKER_HALF_OPEN)
+                self._probes_left = self.half_open_probes
+            # half-open: hand out the bounded probe budget
+            if self._probes_left > 0:
+                self._probes_left -= 1
+                return True
+            return False
+
+    def record_success(self):
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == BREAKER_HALF_OPEN:
+                self._transition(BREAKER_CLOSED)
+
+    def record_failure(self):
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._opened_at = self._clock()
+                self._transition(BREAKER_OPEN)
+                return
+            self._consecutive_failures += 1
+            if (self._state == BREAKER_CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._opened_at = self._clock()
+                self._transition(BREAKER_OPEN)
+
+
+class CrashLoopBackoff:
+    """Restart pacing for a supervised worker.
+
+    Each call to :meth:`next_delay_s` records one death and returns how
+    long the supervisor should wait before the restart: exponentially
+    growing with the current death streak, capped at ``max_s``. A
+    worker that stays up longer than ``reset_after_s`` since its last
+    death is forgiven — the streak restarts from the base delay.
+    """
+
+    def __init__(self, base_s: float = 0.05, max_s: float = 5.0,
+                 multiplier: float = 2.0, reset_after_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.base_s = base_s
+        self.max_s = max_s
+        self.multiplier = multiplier
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._streak = 0
+        self._last_death: Optional[float] = None
+
+    @property
+    def streak(self) -> int:
+        return self._streak
+
+    def next_delay_s(self) -> float:
+        now = self._clock()
+        if (self._last_death is not None
+                and now - self._last_death > self.reset_after_s):
+            self._streak = 0
+        self._last_death = now
+        self._streak += 1
+        return min(self.base_s * self.multiplier ** (self._streak - 1),
+                   self.max_s)

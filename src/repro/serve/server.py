@@ -36,7 +36,7 @@ from ..errors import ServingError
 from ..runtime import Executor
 from ..soc import latency_ms
 from .artifact import LoadedArtifact, load_artifact
-from .batcher import DynamicBatcher, InferenceFuture
+from .batcher import DrainReport, DynamicBatcher, InferenceFuture
 
 
 @dataclass
@@ -269,16 +269,21 @@ class InferenceServer:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def shutdown(self, wait: bool = True):
-        """Stop accepting work and drain every batcher (idempotent)."""
+    def shutdown(self, wait: bool = True) -> Dict[str, "DrainReport"]:
+        """Stop accepting work and drain every batcher (idempotent).
+
+        Returns one :class:`~repro.serve.batcher.DrainReport` per
+        hosted model saying how many of its in-flight requests drained
+        cleanly vs. failed; a second call returns ``{}``.
+        """
         with self._lock:
             if self._shutdown:
-                return
+                return {}
             self._shutdown = True
             entries = list(self._models.values())
             self._models.clear()
-        for served in entries:
-            served.batcher.stop(wait=wait)
+        return {served.key: served.batcher.stop(wait=wait)
+                for served in entries}
 
     def __enter__(self) -> "InferenceServer":
         return self

@@ -203,3 +203,131 @@ class TestShutdownOrdering:
         assert counts == [1] * len(accepted), "lost/double-resolved future"
         with pytest.raises(ServingError, match="shut down"):
             srv.submit(key, feeds)
+
+    def test_shutdown_races_register_and_submit(self, small_deployment):
+        """Shutdown lands while several threads register new models and
+        several submit: no deployment leaks past shutdown (the registry
+        empties, every batcher stops) and every accepted future
+        resolves or fails with a ServingError — none hangs."""
+        compiled, soc, feeds, golden = small_deployment
+        variants = [compile_model(
+            build_small_cnn(seed=10 + i, hw=8, channels=4), soc,
+            CompilerConfig()) for i in range(3)]
+
+        for round_ in range(3):
+            srv = InferenceServer(capacity=8, max_batch_size=4,
+                                  max_wait_ms=1.0)
+            key = srv.register_model(compiled, soc)
+            accepted: list = []
+            lock = threading.Lock()
+            batchers: list = []
+            go = threading.Event()
+
+            def registrar(idx: int):
+                go.wait()
+                while True:
+                    try:
+                        k = srv.register_model(variants[idx], soc,
+                                               fingerprint=f"r{round_}")
+                        with lock:
+                            served = srv._lookup(k, touch=False)
+                            batchers.append(served.batcher)
+                    except ServingError:
+                        return
+
+            def submitter():
+                go.wait()
+                while True:
+                    try:
+                        fut = srv.submit(key, feeds)
+                    except ServingError:
+                        return
+                    with lock:
+                        accepted.append(fut)
+
+            threads = ([threading.Thread(target=registrar, args=(i,))
+                        for i in range(len(variants))]
+                       + [threading.Thread(target=submitter)
+                          for _ in range(3)])
+            for t in threads:
+                t.start()
+            go.set()
+            time.sleep(0.02 + 0.01 * round_)
+            reports = srv.shutdown(wait=True)
+            for t in threads:
+                t.join(30)
+            assert not any(t.is_alive() for t in threads)
+            # no deployment leaks: registry empty, every batcher the
+            # registrars ever created is stopped (drained or evicted)
+            assert srv.models() == []
+            deadline = time.monotonic() + 30
+            with lock:
+                snapshot = list(batchers)
+            for b in snapshot:
+                while not b.stopped and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert b.stopped
+                assert b.pending == 0
+            # every accepted future resolved: output or serving error
+            assert accepted, "race test submitted nothing"
+            for fut in accepted:
+                try:
+                    out = fut.result(timeout=30)
+                except ServingError:
+                    continue
+                assert np.array_equal(out, golden)
+            # shutdown accounted its drains exactly
+            for report in reports.values():
+                assert report.unresolved == 0
+                assert (report.drained + report.failed
+                        == report.pending_at_stop)
+
+
+class TestDrainReportAndTimeouts:
+    def test_result_wait_timeout_is_typed(self, small_deployment):
+        """InferenceFuture.result(timeout=) on a still-pending future
+        raises ServingTimeoutError carrying the model key and elapsed
+        wall time — not a bare queue.Empty or generic error."""
+        from repro.errors import ServingTimeoutError
+
+        compiled, soc, feeds, _ = small_deployment
+        # a huge linger guarantees the batch has not executed yet
+        b = DynamicBatcher(compiled, Executor(soc, exec_mode="fast"),
+                           max_batch_size=64, max_wait_ms=10_000.0,
+                           name="slowpoke")
+        try:
+            fut = b.submit(feeds)
+            with pytest.raises(ServingTimeoutError) as info:
+                fut.result(timeout=0.05)
+            assert info.value.model == "slowpoke"
+            assert info.value.elapsed_s >= 0.05
+            assert info.value.code == "S-TIMEOUT"
+        finally:
+            b.stop(wait=True)
+
+    def test_stop_reports_drained_requests(self, small_deployment):
+        compiled, soc, feeds, _ = small_deployment
+        b = DynamicBatcher(compiled, Executor(soc, exec_mode="fast"),
+                           max_batch_size=4, max_wait_ms=50.0)
+        futs = [b.submit(feeds) for _ in range(5)]
+        report = b.stop(wait=True, timeout=60)
+        assert report.pending_at_stop == 5
+        assert report.drained == 5
+        assert report.failed == 0
+        assert report.unresolved == 0
+        assert "drained" in str(report)
+        for fut in futs:
+            assert fut.result(timeout=0) is not None
+
+    def test_server_shutdown_returns_reports(self, small_deployment):
+        compiled, soc, feeds, _ = small_deployment
+        with InferenceServer(max_batch_size=4, max_wait_ms=50.0) as srv:
+            key = srv.register_model(compiled, soc)
+            futs = [srv.submit(key, feeds) for _ in range(3)]
+            reports = srv.shutdown(wait=True)
+            assert set(reports) == {key}
+            assert reports[key].pending_at_stop == 3
+            assert reports[key].drained == 3
+            for fut in futs:
+                assert fut.result(timeout=0) is not None
+            assert srv.shutdown() == {}  # idempotent, second call empty
