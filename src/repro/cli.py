@@ -23,13 +23,17 @@ and ``--no-cache`` disables memoization. ``table1``/``fig4`` accept
 ``--jobs N`` to evaluate independent cells/points concurrently.
 
 ``run``/``table1``/``fig4`` accept ``--exec-mode
-{tiled,fast,depthfirst}``: ``tiled`` simulates every DORY tile (the
-verification mode), ``fast`` computes full layers at once —
+{tiled,fast,depthfirst,native}``: ``tiled`` simulates every DORY tile
+(the verification mode), ``fast`` computes full layers at once —
 byte-identical outputs, identical cycle counts, much lower wall-clock —
-and ``depthfirst`` runs the model's fused patch-based chains
-(byte-identical outputs; cycles price the halo recompute). ``run
---batch N`` simulates a batch of inferences through the batched
-runtime.
+``depthfirst`` runs the model's fused patch-based chains
+(byte-identical outputs; cycles price the halo recompute), and
+``native`` executes the generated C itself, compiled with the system
+toolchain and cached as a shared library next to the artifact (see
+docs/NATIVE.md; falls back to ``fast`` per step without a compiler).
+``run --batch N`` simulates a batch of inferences through the batched
+runtime. ``pack --prebuild`` compiles the native library at pack time
+so serving hosts just map it.
 
 ``compile``/``run``/``pack``/``serve`` accept ``--depthfirst
 {auto,on,off}`` to plan fused depth-first conv chains (MCUNetV2-style
@@ -378,6 +382,28 @@ def cmd_pack(args) -> int:
     if art.validation:
         print(f"validated: {art.validation['exact_runs']}/"
               f"{art.validation['runs']} bit-exact runs at pack time")
+    if args.prebuild:
+        import time
+
+        from .codegen.build import (build_native_library, find_c_compiler,
+                                    library_path, native_cache_dir)
+
+        compiler = find_c_compiler()
+        if compiler is None:
+            print("prebuild skipped: no C compiler on PATH "
+                  "(serving will fall back to exec_mode='fast')")
+        else:
+            cache = native_cache_dir(out)
+            t0 = time.perf_counter()
+            lib = build_native_library(art.model, cache_dir=cache,
+                                       fingerprint=art.fingerprint)
+            dt_ms = (time.perf_counter() - t0) * 1e3
+            if lib is None:
+                print("prebuild FAILED (see warning above); "
+                      "serving will fall back to exec_mode='fast'")
+                return 1
+            print(f"prebuilt {lib} ({os.path.getsize(lib)} B, "
+                  f"{compiler}, {dt_ms:.0f} ms cold build)")
     return 0
 
 
@@ -832,6 +858,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--validate-runs", type=int, default=1,
                    help="bit-exact validation runs recorded at pack "
                         "time (0 skips; default: %(default)s)")
+    p.add_argument("--prebuild", action="store_true",
+                   help="also compile the native shared library next "
+                        "to the artifact (exec-mode native loads it "
+                        "without a toolchain on the serving host)")
     add_cache_args(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)

@@ -149,12 +149,14 @@ def emit_cpu_kernel(name: str, composite: Composite) -> str:
         params.append(f"const {_c_dtype(var.dtype.name)}* restrict in_{i}")
     params.append(f"{_c_dtype(body.output.dtype.name)}* restrict out")
     w.comment(f"fused kernel: {body.name}")
+    w.line('#include "repro_runtime.h"')
     w.open(f"void {name}({', '.join(params)})")
     n_const = sum(isinstance(n, Constant) for n in body.topo_order())
     w.comment(f"{n_const} constant tensors linked from the weight section")
     w.line("const int8_t* operand_b = (const int8_t*)in_0;")
     if len(body.inputs) > 1:
         w.line("operand_b = (const int8_t*)in_1;")
+    w.line("(void)operand_b;")
     src = "in_0"
     last = src
     for i, call in enumerate(body.calls()):

@@ -1,0 +1,495 @@
+"""Exact C kernels for the native compiled execution backend.
+
+The C sources the compiler has always persisted (``cpu.py``,
+``dory/codegen.py``) are *size-model* artifacts: representative loop
+nests whose byte count feeds Table I, not code whose arithmetic matches
+the simulator. This module emits the other half — kernels whose
+integer semantics are **bit-exact** against :mod:`repro.numerics` — so
+a ``.dna`` artifact can be compiled with the system C compiler and
+served natively (``exec_mode="native"``).
+
+One translation unit (``native.c``) per compiled model:
+
+* a ``static`` kernel per accelerator step (``conv2d``, ``dwconv2d``,
+  ``dense``, ``add``) replicating the accumulate → bias → round-half-up
+  shift → clip → int8 tail of
+  :func:`repro.numerics.requantize_acc` / ``bias_requantize``,
+* a stable exported ABI (``repro_native_*``; everything else has
+  internal linkage, so two artifacts load into one process without
+  symbol clashes),
+* when *every* step is native-eligible, a whole-network entry point
+  (``repro_native_run``) that walks the L2 memory plan's static arena —
+  the paper's "single C function that executes all kernels
+  sequentially" made executable.
+
+Exactness argument (all paths verified property-style in
+``tests/test_native.py``):
+
+* int8×int8 products are bounded by ``2**14``, so a reduction of ``R``
+  taps is bounded by ``R << 14``; when that fits int32 the kernel
+  accumulates in plain ``int32_t`` (no overflow, hence no UB) and the
+  result equals numpy's exact accumulator. Wider reductions accumulate
+  in ``int64_t`` and narrow mod ``2**32`` — identical to numpy's
+  ``_to_int32``.
+* the requant tail adds ``bias + rnd`` with two's-complement wraparound
+  (``RQ_WRAP_ADD``, via unsigned arithmetic — defined behaviour),
+  arithmetic-shifts, clips to the out-dtype range (int7 → [-64, 63])
+  with ReLU folded into the lower bound — exactly
+  ``bias_requantize``. Arithmetic ``>>`` on negative values and
+  modular unsigned→signed conversion are gcc/clang-defined, which is
+  what the build layer invokes.
+
+CPU steps (softmax, pooling, reshape) are *never* emitted: softmax is
+float32 and C ``expf`` is not bit-stable against numpy, so those steps
+always run through the Python fast path (per-step fallback in the
+executor).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..dory.layer_spec import LayerSpec
+from .c_writer import CWriter
+from .runtime_glue import _c_ident
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: core imports codegen
+    from ..core.program import CompiledModel
+
+#: bumped whenever the exported symbol set or calling convention
+#: changes; baked into the library and checked at load time.
+NATIVE_ABI_VERSION = 1
+
+#: accelerator step kinds the emitter covers.
+SUPPORTED_KINDS = ("conv2d", "dwconv2d", "dense", "add")
+
+#: largest MAC reduction length safe for a plain int32 accumulator:
+#: |int8 * int8| <= 2**14 per tap, so R taps are bounded by R << 14,
+#: which must stay below 2**31.
+INT32_SAFE_REDUCTION = ((1 << 31) - 1) >> 14
+
+#: int8-storage dtypes (what the executor materializes buffers in).
+_I8_DTYPES = ("int8", "int7")
+
+
+def _reduction(spec: LayerSpec) -> int:
+    if spec.kind == "dense":
+        return spec.in_channels
+    cg = 1 if spec.kind == "dwconv2d" else spec.in_channels
+    return cg * spec.fy * spec.fx
+
+
+def _step_native_ok(step) -> bool:
+    """Can this step be lowered to an exact native kernel?"""
+    from ..core.program import AccelStep
+
+    if not isinstance(step, AccelStep) or step.spec is None:
+        return False
+    spec = step.spec
+    if spec.kind not in SUPPORTED_KINDS:
+        return False
+    if spec.in_dtype not in _I8_DTYPES or spec.out_dtype not in _I8_DTYPES:
+        return False
+    if spec.shift < 0 or spec.shift > 31:
+        return False
+    if spec.kind != "add":
+        if spec.weight is None:
+            return False
+        if spec.kind == "dwconv2d" and spec.groups != spec.in_channels:
+            return False
+        if spec.kind == "conv2d" and spec.groups != 1:
+            return False
+    return True
+
+
+def native_step_indices(model: CompiledModel) -> List[int]:
+    """Step indices the native backend executes in C.
+
+    Depth-first chain members are excluded: chains execute patch-wise
+    in every mode (they are part of the compiled program), so their
+    layers keep the Python patch pipeline.
+    """
+    in_chain = set()
+    for ch in model.depthfirst_chains:
+        in_chain.update(range(ch.start, ch.stop))
+    return [i for i, step in enumerate(model.steps)
+            if i not in in_chain and _step_native_ok(step)]
+
+
+def _buffer_elems(model: CompiledModel, name: str) -> Optional[int]:
+    buf = model.buffers.get(name)
+    if buf is None or buf.ttype.dtype.name not in _I8_DTYPES:
+        return None
+    return buf.ttype.num_elements
+
+
+def full_run_eligible(model: CompiledModel,
+                      native_idx: Optional[List[int]] = None) -> bool:
+    """True when the whole network can run as one C call over the
+    planned arena: every step native, no fused chains, every step
+    output planned inside the arena, and buffer layouts matching the
+    kernels' flat NCHW expectations."""
+    if native_idx is None:
+        native_idx = native_step_indices(model)
+    if model.depthfirst_chains or len(native_idx) != len(model.steps):
+        return False
+    plan = model.memory_plan
+    for step in model.steps:
+        spec = step.spec
+        out_elems = _buffer_elems(model, step.output_name)
+        in_elems = [_buffer_elems(model, n) for n in step.input_names]
+        if out_elems is None or any(e is None for e in in_elems):
+            return False
+        if spec.kind in ("conv2d", "dwconv2d"):
+            if in_elems[0] != spec.in_channels * spec.iy * spec.ix:
+                return False
+            if out_elems != spec.out_channels * spec.oy * spec.ox:
+                return False
+        elif spec.kind == "dense":
+            if in_elems[0] != spec.in_channels or out_elems != spec.out_channels:
+                return False
+        else:  # add
+            elems = spec.in_channels * spec.oy * spec.ox
+            if out_elems != elems or any(e != elems for e in in_elems):
+                return False
+        off = plan.offsets.get(step.output_name)
+        if off is None or off < 0:
+            return False
+        if off + model.buffers[step.output_name].size_bytes > plan.arena_bytes:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# kernel emission
+# ---------------------------------------------------------------------------
+
+def _requant_consts(spec: LayerSpec):
+    lo, hi = (-64, 63) if spec.out_dtype == "int7" else (-128, 127)
+    if spec.relu:
+        lo = max(lo, 0)
+    rnd = (1 << (spec.shift - 1)) if spec.shift > 0 else 0
+    return lo, hi, rnd
+
+
+def _emit_badd(w: CWriter, i: int, spec: LayerSpec, ch_var: str):
+    """``badd = bias[ch] + rnd`` with int32 wraparound (bias_requantize
+    folds the rounding term into the per-channel bias add)."""
+    _, _, rnd = _requant_consts(spec)
+    if spec.bias is not None:
+        w.line(f"const int32_t badd = RQ_WRAP_ADD(g_bias[{i}][{ch_var}], "
+               f"{rnd});")
+    else:
+        w.line(f"const int32_t badd = {rnd};")
+
+
+def _emit_tail(w: CWriter, spec: LayerSpec, acc_expr: str, acc64: bool,
+               dst: str):
+    lo, hi, _ = _requant_consts(spec)
+    narrowed = f"RQ_NARROW64({acc_expr})" if acc64 else f"(int32_t)({acc_expr})"
+    w.line(f"int32_t v = RQ_WRAP_ADD({narrowed}, badd);")
+    if spec.shift > 0:
+        w.line(f"v = v >> {spec.shift};")
+    w.line(f"if (v < {lo}) v = {lo}; else if (v > {hi}) v = {hi};")
+    w.line(f"{dst} = (int8_t)v;")
+
+
+def _emit_conv_kernel(w: CWriter, i: int, spec: LayerSpec):
+    dw = spec.kind == "dwconv2d"
+    C, K = spec.in_channels, spec.out_channels
+    IY, IX, OY, OX = spec.iy, spec.ix, spec.oy, spec.ox
+    FY, FX = spec.fy, spec.fx
+    SY, SX = spec.strides
+    PY, PX = spec.padding
+    IYP, IXP = IY + 2 * PY, IX + 2 * PX
+    acc64 = _reduction(spec) > INT32_SAFE_REDUCTION
+    acc_t = "int64_t" if acc64 else "int32_t"
+    padded = PY > 0 or PX > 0
+
+    w.comment(f"step {i}: {spec.kind} {spec.name} "
+              f"C={C} K={K} {IY}x{IX} -> {OY}x{OX} f={FY}x{FX} "
+              f"s={SY},{SX} p={PY},{PX} shift={spec.shift}")
+    if padded:
+        w.line(f"static int8_t s{i}_xpad[{C * IYP * IXP}];")
+    w.open(f"static void s{i}(const int8_t* restrict x, const int8_t* y, "
+           f"int8_t* restrict out, int32_t n)")
+    w.line("(void)y;")
+    w.line(f"const int8_t* restrict wgt = g_w[{i}];")
+    w.open("for (int32_t b = 0; b < n; ++b)")
+    w.line(f"const int8_t* xb = x + (int64_t)b * {C * IY * IX};")
+    w.line(f"int8_t* ob = out + (int64_t)b * {K * OY * OX};")
+    if padded:
+        # zero-padded scratch copy: the hot loops below then need no
+        # bounds checks, which is what lets -O3 vectorize the ox loop
+        w.line(f"memset(s{i}_xpad, 0, sizeof s{i}_xpad);")
+        w.open(f"for (int32_t c = 0; c < {C}; ++c)")
+        w.open(f"for (int32_t iy = 0; iy < {IY}; ++iy)")
+        w.line(f"memcpy(s{i}_xpad + ((int64_t)c * {IYP} + iy + {PY}) "
+               f"* {IXP} + {PX}, xb + ((int64_t)c * {IY} + iy) * {IX}, "
+               f"{IX});")
+        w.close().close()
+        w.line(f"const int8_t* xs = s{i}_xpad;")
+    else:
+        w.line("const int8_t* xs = xb;")
+    w.open(f"for (int32_t k = 0; k < {K}; ++k)")
+    _emit_badd(w, i, spec, "k")
+    w.open(f"for (int32_t oy = 0; oy < {OY}; ++oy)")
+    w.line(f"{acc_t} acc[{OX}] = {{0}};")
+    if dw:
+        w.open(f"for (int32_t fy = 0; fy < {FY}; ++fy)")
+        w.line(f"const int8_t* xr = xs + ((int64_t)k * {IYP} "
+               f"+ oy * {SY} + fy) * {IXP};")
+        w.line(f"const int8_t* wr = wgt + ((int64_t)k * {FY} + fy) * {FX};")
+    else:
+        w.open(f"for (int32_t c = 0; c < {C}; ++c)")
+        w.open(f"for (int32_t fy = 0; fy < {FY}; ++fy)")
+        w.line(f"const int8_t* xr = xs + ((int64_t)c * {IYP} "
+               f"+ oy * {SY} + fy) * {IXP};")
+        w.line(f"const int8_t* wr = wgt + (((int64_t)k * {C} + c) "
+               f"* {FY} + fy) * {FX};")
+    w.open(f"for (int32_t fx = 0; fx < {FX}; ++fx)")
+    w.line("const int32_t wv = wr[fx];")
+    w.line("const int8_t* xc = xr + fx;")
+    w.open(f"for (int32_t ox = 0; ox < {OX}; ++ox)")
+    w.line(f"acc[ox] += wv * (int32_t)xc[(int64_t)ox * {SX}];")
+    w.close().close()
+    w.close()
+    if not dw:
+        w.close()
+    w.line(f"int8_t* orow = ob + ((int64_t)k * {OY} + oy) * {OX};")
+    w.open(f"for (int32_t ox = 0; ox < {OX}; ++ox)")
+    _emit_tail(w, spec, "acc[ox]", acc64, "orow[ox]")
+    w.close()
+    w.close()  # oy
+    w.close()  # k
+    w.close()  # b
+    w.close()  # fn
+    w.line()
+
+
+def _emit_dense_kernel(w: CWriter, i: int, spec: LayerSpec):
+    C, K = spec.in_channels, spec.out_channels
+    acc64 = _reduction(spec) > INT32_SAFE_REDUCTION
+    acc_t = "int64_t" if acc64 else "int32_t"
+    w.comment(f"step {i}: dense {spec.name} C={C} K={K} "
+              f"shift={spec.shift}")
+    w.open(f"static void s{i}(const int8_t* restrict x, const int8_t* y, "
+           f"int8_t* restrict out, int32_t n)")
+    w.line("(void)y;")
+    w.line(f"const int8_t* restrict wgt = g_w[{i}];")
+    w.open("for (int32_t b = 0; b < n; ++b)")
+    w.line(f"const int8_t* xb = x + (int64_t)b * {C};")
+    w.line(f"int8_t* ob = out + (int64_t)b * {K};")
+    w.open(f"for (int32_t k = 0; k < {K}; ++k)")
+    _emit_badd(w, i, spec, "k")
+    w.line(f"const int8_t* wr = wgt + (int64_t)k * {C};")
+    w.line(f"{acc_t} acc = 0;")
+    w.open(f"for (int32_t c = 0; c < {C}; ++c)")
+    w.line("acc += (int32_t)xb[c] * (int32_t)wr[c];")
+    w.close()
+    _emit_tail(w, spec, "acc", acc64, "ob[k]")
+    w.close()  # k
+    w.close()  # b
+    w.close()
+    w.line()
+
+
+def _emit_add_kernel(w: CWriter, i: int, spec: LayerSpec):
+    C = spec.in_channels
+    inner = spec.oy * spec.ox
+    elems = C * inner
+    w.comment(f"step {i}: add {spec.name} C={C} inner={inner} "
+              f"shift={spec.shift}")
+    w.open(f"static void s{i}(const int8_t* restrict x, const int8_t* y, "
+           f"int8_t* restrict out, int32_t n)")
+    w.open("for (int32_t b = 0; b < n; ++b)")
+    w.line(f"const int8_t* xb = x + (int64_t)b * {elems};")
+    w.line(f"const int8_t* yb = y + (int64_t)b * {elems};")
+    w.line(f"int8_t* ob = out + (int64_t)b * {elems};")
+    w.open(f"for (int32_t c = 0; c < {C}; ++c)")
+    _emit_badd(w, i, spec, "c")
+    w.line(f"const int8_t* xr = xb + (int64_t)c * {inner};")
+    w.line(f"const int8_t* yr = yb + (int64_t)c * {inner};")
+    w.line(f"int8_t* orow = ob + (int64_t)c * {inner};")
+    w.open(f"for (int32_t j = 0; j < {inner}; ++j)")
+    _emit_tail(w, spec, "(int32_t)xr[j] + (int32_t)yr[j]", False, "orow[j]")
+    w.close()
+    w.close()  # c
+    w.close()  # b
+    w.close()
+    w.line()
+
+
+_KERNEL_EMITTERS = {
+    "conv2d": _emit_conv_kernel,
+    "dwconv2d": _emit_conv_kernel,
+    "dense": _emit_dense_kernel,
+    "add": _emit_add_kernel,
+}
+
+
+# ---------------------------------------------------------------------------
+# translation unit
+# ---------------------------------------------------------------------------
+
+def _emit_dispatch(w: CWriter, model: CompiledModel, native_idx: List[int]):
+    w.open("int32_t repro_native_step_supported(int32_t idx)")
+    if native_idx:
+        w.open("switch (idx)")
+        w.line(" ".join(f"case {i}:" for i in native_idx) + " return 1;")
+        w.line("default: return 0;")
+        w.close()
+    else:
+        w.line("(void)idx;")
+        w.line("return 0;")
+    w.close()
+    w.line()
+
+    w.open("int32_t repro_native_set_weights(int32_t idx, const void* w, "
+           "const void* bias)")
+    w.line("if (idx < 0 || idx >= REPRO_NATIVE_NUM_STEPS) return -1;")
+    w.line("g_w[idx] = (const int8_t*)w;")
+    w.line("g_bias[idx] = (const int32_t*)bias;")
+    w.line("return 0;")
+    w.close()
+    w.line()
+
+    w.open("int32_t repro_native_run_step(int32_t idx, const void* x, "
+           "const void* y, void* out, int32_t n)")
+    w.line("if (n <= 0 || !x || !out) return -1;")
+    if native_idx:
+        w.open("switch (idx)")
+        for i in native_idx:
+            spec = model.steps[i].spec
+            w.open(f"case {i}:")
+            if spec.kind != "add":
+                w.line(f"if (!g_w[{i}]) return -2;")
+            else:
+                w.line("if (!y) return -1;")
+            if spec.bias is not None:
+                w.line(f"if (!g_bias[{i}]) return -2;")
+            w.line(f"s{i}((const int8_t*)x, (const int8_t*)y, "
+                   f"(int8_t*)out, n);")
+            w.line("return 0;")
+            w.close()
+        w.line("default: return -1;")
+        w.close()
+    else:
+        w.line("(void)y;")
+        w.line("return -1;")
+    w.close()
+    w.line()
+
+
+def _emit_full_run(w: CWriter, model: CompiledModel, native_idx: List[int]):
+    eligible = full_run_eligible(model, native_idx)
+    w.open("int32_t repro_native_has_full_run(void)")
+    w.line(f"return {1 if eligible else 0};")
+    w.close()
+    w.line()
+    if not eligible:
+        w.open("int32_t repro_native_run(const void* const* inputs, "
+               "void* output, int32_t n)")
+        w.line("(void)inputs; (void)output; (void)n;")
+        w.line("return -3;")
+        w.close()
+        w.line()
+        return
+
+    plan = model.memory_plan
+    out_name = model.output_name
+    out_bytes = model.buffers[out_name].ttype.num_elements
+    w.comment("whole-network execution over the planned L2 arena")
+    w.line(f"static uint8_t g_arena[{max(plan.arena_bytes, 1)}];")
+    w.open("int32_t repro_native_run(const void* const* inputs, "
+           "void* output, int32_t n)")
+    w.line("if (n <= 0 || !inputs || !output) return -1;")
+    for i in native_idx:
+        spec = model.steps[i].spec
+        if spec.kind != "add":
+            w.line(f"if (!g_w[{i}]) return -2;")
+        if spec.bias is not None:
+            w.line(f"if (!g_bias[{i}]) return -2;")
+    w.open("for (int32_t b = 0; b < n; ++b)")
+    names = {}
+    for j, name in enumerate(model.input_names):
+        ident = f"in_{_c_ident(name)}"
+        elems = model.buffers[name].ttype.num_elements
+        w.line(f"const int8_t* {ident} = (const int8_t*)inputs[{j}] "
+               f"+ (int64_t)b * {elems};")
+        names[name] = ident
+    for step in model.steps:
+        name = step.output_name
+        if name in names:
+            continue
+        ident = f"buf_{_c_ident(name)}"
+        w.line(f"int8_t* {ident} = (int8_t*)(g_arena "
+               f"+ {plan.offsets[name]});")
+        names[name] = ident
+    for i, step in enumerate(model.steps):
+        x = names[step.input_names[0]]
+        y = names[step.input_names[1]] if step.spec.kind == "add" else "0"
+        w.line(f"s{i}({x}, {y}, {names[step.output_name]}, 1);")
+    w.line(f"memcpy((int8_t*)output + (int64_t)b * {out_bytes}, "
+           f"{names[out_name]}, {out_bytes});")
+    w.close()  # b
+    w.line("return 0;")
+    w.close()
+    w.line()
+
+
+def emit_native_sources(model: CompiledModel,
+                        build_key: Optional[str] = None) -> str:
+    """Emit ``native.c`` for ``model``.
+
+    ``build_key`` (default: ``model.fingerprint()``) is baked into the
+    library and re-checked at load time — the build cache's staleness
+    proof. The emission is deterministic in the model, so equal
+    fingerprints produce byte-identical sources.
+    """
+    if build_key is None:
+        build_key = model.fingerprint()
+    native_idx = native_step_indices(model)
+    n_steps = len(model.steps)
+
+    w = CWriter()
+    w.comment(f"repro native backend: {model.name} [{model.config_name}]")
+    w.comment("generated code - do not edit; semantics mirror "
+              "repro.numerics bit-for-bit (see codegen/native.py)")
+    w.line("#include <stdint.h>")
+    w.line("#include <string.h>")
+    w.line()
+    w.comment("two's-complement wraparound add / int64 -> int32 "
+              "narrowing via unsigned arithmetic (defined behaviour; "
+              "the final unsigned -> signed conversion is modular on "
+              "every compiler the build layer accepts)")
+    w.line("#define RQ_WRAP_ADD(a, b) "
+           "((int32_t)(uint32_t)((uint32_t)(a) + (uint32_t)(b)))")
+    w.line("#define RQ_NARROW64(a) ((int32_t)(uint32_t)(uint64_t)(a))")
+    w.line()
+    w.line(f"enum {{ REPRO_NATIVE_NUM_STEPS = {n_steps} }};")
+    w.line(f"static const char g_build_key[] = \"{build_key}\";")
+    w.line("static const int8_t* g_w[REPRO_NATIVE_NUM_STEPS];")
+    w.line("static const int32_t* g_bias[REPRO_NATIVE_NUM_STEPS];")
+    w.line()
+
+    for i in native_idx:
+        spec = model.steps[i].spec
+        _KERNEL_EMITTERS[spec.kind](w, i, spec)
+
+    w.comment("---- exported ABI (everything above is static) ----")
+    w.open("int32_t repro_native_abi(void)")
+    w.line(f"return {NATIVE_ABI_VERSION};")
+    w.close()
+    w.line()
+    w.open("const char* repro_native_build_key(void)")
+    w.line("return g_build_key;")
+    w.close()
+    w.line()
+    w.open("int32_t repro_native_num_steps(void)")
+    w.line("return REPRO_NATIVE_NUM_STEPS;")
+    w.close()
+    w.line()
+    _emit_dispatch(w, model, native_idx)
+    _emit_full_run(w, model, native_idx)
+    return w.source()

@@ -19,7 +19,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..codegen.cpu import emit_cpu_kernel, kernel_signature
-from ..codegen.runtime_glue import emit_network
+from ..codegen.runtime_glue import (
+    RUNTIME_HEADER, emit_network, emit_runtime_header,
+)
 from ..mapping import layer_spec_of, plan_mapping
 from ..dory.codegen import emit_accel_layer
 from ..dory.heuristics import heuristic_set_for
@@ -214,6 +216,7 @@ def compile_model(graph: Graph, soc: DianaSoC,
             f"({soc.params.l2_bytes} B)"
         )
 
+    kernel_sources[RUNTIME_HEADER] = emit_runtime_header()
     kernel_sources["network.c"] = emit_network(
         graph.name, steps, kernel_names, plan,
         [v.name for v in graph.inputs], output_name)

@@ -32,6 +32,13 @@ def emit_accel_layer(name: str, sol: TilingSolution,
     cfg = sol.cfg
     w = CWriter()
     w.comment(f"DORY layer driver: {spec.name} on {sol.target}")
+    w.line('#include "repro_runtime.h"')
+    call = _accel_call(sol.target)
+    if call not in ("diana_digital_run", "diana_analog_run"):
+        # custom accelerator targets: the BSP header only declares the
+        # DIANA cores, so declare the trigger stub here
+        w.line(f"void {call}(const int8_t* l1_in, int8_t* l1_out, "
+               f"int shift, int relu);")
     w.comment(f"kind={spec.kind} C={spec.in_channels} K={spec.out_channels} "
               f"in={spec.iy}x{spec.ix} out={spec.oy}x{spec.ox} "
               f"f={spec.fy}x{spec.fx} s={spec.strides} p={spec.padding}")

@@ -60,7 +60,10 @@ if TYPE_CHECKING:  # avoid a circular import at runtime
     from ..soc.diana import DianaSoC
 
 #: the functional execution modes of accelerator layers.
-EXEC_MODES = ("tiled", "fast", "depthfirst")
+EXEC_MODES = ("tiled", "fast", "depthfirst", "native")
+
+#: modes whose kernels evaluate a whole batch in one pass.
+_BATCH_COVARIANT_MODES = ("fast", "depthfirst", "native")
 
 
 @dataclass
@@ -274,14 +277,27 @@ class Executor:
     :class:`~repro.core.program.DepthFirstChain` schedules execute
     patch by patch in every mode — they are part of the program, and
     their memory plan only holds patch-sized interior slabs.
+
+    ``"native"`` executes accelerator layers through the compiled
+    per-artifact shared library (see :mod:`repro.codegen.build`):
+    covered steps run machine code, anything the library does not cover
+    — CPU kernels, fused chains, or a host without a C toolchain —
+    falls back per step to the ``fast`` interpreter. Outputs stay
+    byte-identical and cycle accounting is unchanged (the cost model is
+    analytic in the step, not in who computed the bytes).
+    ``native_cache_dir`` overrides where the shared library is cached
+    (default: ``$REPRO_NATIVE_CACHE`` or ``~/.cache/repro/native``; the
+    serving layer passes the artifact's own directory).
     """
 
-    def __init__(self, soc: "DianaSoC", exec_mode: str = "tiled"):
+    def __init__(self, soc: "DianaSoC", exec_mode: str = "tiled",
+                 native_cache_dir: Optional[str] = None):
         if exec_mode not in EXEC_MODES:
             raise SimulationError(
                 f"unknown exec_mode {exec_mode!r}; expected one of {EXEC_MODES}")
         self.soc = soc
         self.exec_mode = exec_mode
+        self.native_cache_dir = native_cache_dir
 
     # -- public API -----------------------------------------------------------
 
@@ -302,8 +318,8 @@ class Executor:
         of every sample is executed).
         """
         batch = self._batch_size(model, feeds)
-        if self.exec_mode in ("fast", "depthfirst"):
-            # both modes use batch-covariant kernels (chains included)
+        if self.exec_mode in _BATCH_COVARIANT_MODES:
+            # these modes use batch-covariant kernels (chains included)
             outputs, perf, l2_peak = self._execute(model, feeds, batch=batch)
             return BatchExecutionResult(outputs=outputs, perf=perf,
                                         batch=batch, l2_peak_bytes=l2_peak)
@@ -354,6 +370,17 @@ class Executor:
             c.start: c for c in model.depthfirst_chains}
 
         last_use = self._last_use(model)
+        native = None
+        if self.exec_mode == "native":
+            native = self._native_module(model)
+            if native is not None and native.has_full_run and not chains:
+                full = self._native_full(model, values, batch, native)
+                if full is not None:
+                    # accounting replays the analytic per-step costs so
+                    # perf/l2 match the interpreted modes byte for byte
+                    l2_peak = max(l2_peak, self._account_steps(
+                        model, perf, l2, arena_base, last_use))
+                    return full, perf, l2_peak
         idx = 0
         while idx < len(model.steps):
             chain = chains.get(idx)
@@ -369,7 +396,8 @@ class Executor:
             if isinstance(step, CpuKernelStep):
                 values[step.output_name] = self._run_cpu(step, args, perf)
             elif isinstance(step, AccelStep):
-                values[step.output_name] = self._run_accel(step, args, perf)
+                values[step.output_name] = self._run_accel(
+                    step, args, perf, idx=idx, native=native)
             else:
                 raise SimulationError(f"unknown step {step!r}")
             for name in step.input_names:
@@ -402,6 +430,58 @@ class Executor:
         if not batch:
             raise SimulationError("empty batch")
         return batch
+
+    def _native_module(self, model: CompiledModel):
+        """Build-or-load the model's native library, memoized on the
+        model object (``None`` — no toolchain / nothing to cover — is
+        memoized too, so a host without a compiler pays the probe
+        once, not per inference)."""
+        cached = getattr(model, "_native_mod_cache", None)
+        if cached is not None and cached[0] == self.native_cache_dir:
+            return cached[1]
+        from ..codegen.build import load_native_module
+
+        mod = load_native_module(model, self.native_cache_dir)
+        model._native_mod_cache = (self.native_cache_dir, mod)
+        return mod
+
+    def _native_full(self, model: CompiledModel, values,
+                     batch: Optional[int], native):
+        """Whole-network native execution (one C call over the planned
+        arena); returns the reshaped output or ``None`` to fall back to
+        the step loop."""
+        n = 1 if batch is None else batch
+        ins = []
+        for name in model.input_names:
+            arr = values[name]
+            if arr.dtype != np.int8:
+                return None
+            ins.append(arr)
+        out_t = model.buffers[model.output_name].ttype
+        flat = native.run_full(ins, out_t.num_elements, n)
+        if flat is None:
+            return None
+        shape = (tuple(out_t.shape) if batch is None
+                 else (batch,) + tuple(out_t.shape)[1:])
+        return flat.reshape(shape)
+
+    def _account_steps(self, model: CompiledModel, perf: PerfCounters,
+                       l2, arena_base: int, last_use) -> int:
+        """Replay the cycle/L2 accounting of the step loop without
+        executing kernels — used after a whole-network native run.
+        Identical charges by construction: the cost model is analytic
+        in (step, soc), never in activation values."""
+        l2_peak = model.size.total
+        for idx, step in enumerate(model.steps):
+            self._place(l2, model, step.output_name, arena_base)
+            l2_peak = max(l2_peak, l2.high_water)
+            rec = perf.start_kernel(step.name, step.accel_target,
+                                    macs=step.spec.macs())
+            self._accel_cost(step, rec)
+            for name in step.input_names:
+                if last_use.get(name) == idx and name != model.output_name:
+                    l2.free(name)
+        return l2_peak
 
     def _last_use(self, model: CompiledModel) -> Dict[str, int]:
         cached = getattr(model, "_last_use_cache", None)
@@ -542,7 +622,8 @@ class Executor:
         rec.cycles.update(cycles)
         rec.num_tiles = num_tiles
 
-    def _run_accel(self, step: AccelStep, args, perf: PerfCounters):
+    def _run_accel(self, step: AccelStep, args, perf: PerfCounters,
+                   idx: Optional[int] = None, native=None):
         spec, sol = step.spec, step.tiling
         accel = self.soc.accelerator(step.accel_target)
         rec = perf.start_kernel(step.name, step.accel_target, macs=spec.macs())
@@ -550,7 +631,12 @@ class Executor:
 
         x = args[0]
         y = args[1] if spec.kind == "add" else None
-        if self.exec_mode in ("fast", "depthfirst"):
+        if native is not None and idx is not None:
+            out = native.run_step(idx, spec, x, y)
+            if out is not None:
+                return out
+            # uncovered kind / geometry surprise: fast interpreter
+        if self.exec_mode in ("fast", "depthfirst", "native"):
             # non-chain steps of a depth-first model run as full layers
             return execute_layer_fast(accel, spec, x, y)
         return execute_layer_tiled(accel, spec, sol, x, y)

@@ -37,6 +37,7 @@ import dataclasses
 import gzip
 import hashlib
 import json
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -371,7 +372,7 @@ def load_artifact(path: str, verify: bool = False) -> LoadedArtifact:
     try:
         with gzip.open(path, "rt", encoding="utf-8") as f:
             obj = json.load(f)
-    except (OSError, ValueError, EOFError) as exc:
+    except (OSError, ValueError, EOFError, zlib.error) as exc:
         raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from exc
     if not verify:
         return artifact_from_dict(obj)

@@ -98,11 +98,30 @@ def _worker_main(conn, key: str, worker_index: int, gen: int,
         time.sleep(rule.param if rule.param is not None else 1.0)
     if faults.fires("crash_start") is not None:
         os._exit(3)
+    degraded: Optional[str] = None
     try:
         from ..runtime import Executor
         from .artifact import load_artifact
         art = load_artifact(artifact_path, verify=verify)
-        executor = Executor(art.soc, exec_mode=exec_mode)
+        effective_mode = exec_mode
+        if exec_mode == "native":
+            # build-or-load the cached shared library next to the .dna
+            # at deployment time, so "ready" implies the warm path; a
+            # worker without a toolchain (or with a failing build)
+            # degrades to the bit-identical fast interpreter and says so
+            from ..codegen.build import (
+                find_c_compiler, load_native_module, native_cache_dir,
+            )
+            cache = native_cache_dir(artifact_path)
+            if find_c_compiler() is None:
+                effective_mode = "fast"
+                degraded = "no C toolchain on worker host"
+            elif load_native_module(art.model, cache) is None:
+                effective_mode = "fast"
+                degraded = "native library build failed"
+        executor = Executor(art.soc, exec_mode=effective_mode,
+                            native_cache_dir=(
+                                cache if exec_mode == "native" else None))
     except BaseException as exc:  # noqa: B036, BLE001 — reported, then exit
         try:
             conn.send(("load_error",
@@ -112,7 +131,10 @@ def _worker_main(conn, key: str, worker_index: int, gen: int,
         os._exit(1)
     from .batcher import normalize_feeds
 
-    conn.send(("ready", exec_mode))
+    if degraded is not None:
+        conn.send(("degraded", "S-NATIVE",
+                   f"{degraded}; serving via exec_mode='fast'"))
+    conn.send(("ready", effective_mode))
     n_requests = 0
     while True:
         try:
@@ -289,7 +311,7 @@ class _WorkerHandle:
 
     __slots__ = ("index", "gen", "proc", "conn", "state", "inflight",
                  "dispatched_at", "spawned_at", "restarts", "backoff",
-                 "next_start_at")
+                 "next_start_at", "exec_mode")
 
     def __init__(self, index: int, backoff: CrashLoopBackoff):
         self.index = index
@@ -297,6 +319,7 @@ class _WorkerHandle:
         self.proc = None
         self.conn = None
         self.state = "down"      #: down|starting|ready|busy|dead|failed_load
+        self.exec_mode: Optional[str] = None  #: mode reported at "ready"
         self.inflight: Optional[_Request] = None
         self.dispatched_at = 0.0
         self.spawned_at = 0.0
@@ -333,7 +356,7 @@ class _Deployment:
         self.counters: Dict[str, int] = {
             "accepted": 0, "completed": 0, "failed": 0, "retried": 0,
             "rejected": 0, "shed": 0, "expired": 0, "timeouts": 0,
-            "restarts": 0, "fallbacks": 0,
+            "restarts": 0, "fallbacks": 0, "degraded": 0,
         }
 
 
@@ -570,7 +593,7 @@ class ServingFleet:
                     "breaker_transitions": list(dep.breaker.transitions),
                     "workers": [
                         {"index": w.index, "state": w.state, "gen": w.gen,
-                         "restarts": w.restarts}
+                         "restarts": w.restarts, "exec_mode": w.exec_mode}
                         for w in dep.workers],
                 }
             return out
@@ -658,6 +681,12 @@ class ServingFleet:
             if kind == "ready":
                 if worker.state == "starting":
                     worker.state = "ready"
+                if len(msg) > 1:
+                    worker.exec_mode = msg[1]
+            elif kind == "degraded":
+                # worker-side graceful degradation (e.g. S-NATIVE: no
+                # toolchain); the worker still serves, just not natively
+                dep.counters["degraded"] += 1
             elif kind == "pong":
                 pass
             elif kind == "load_error":

@@ -23,6 +23,7 @@ without knowing the config fingerprint.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -35,7 +36,7 @@ from ..core.program import CompiledModel
 from ..errors import ServingError
 from ..runtime import Executor
 from ..soc import latency_ms
-from .artifact import LoadedArtifact, load_artifact
+from .artifact import load_artifact
 from .batcher import DrainReport, DynamicBatcher, InferenceFuture
 
 
@@ -47,19 +48,26 @@ class ServerConfig:
     max_batch_size: int = 8      #: dynamic-batch upper bound
     max_wait_ms: float = 2.0     #: batch linger after first request
     exec_mode: str = "fast"      #: executor mode for served inferences
+    #: shared-library cache for ``exec_mode="native"`` (``None`` =
+    #: ``$REPRO_NATIVE_CACHE`` or ``~/.cache/repro/native``;
+    #: :meth:`InferenceServer.register_artifact` fills in the
+    #: artifact's own directory)
+    native_cache_dir: Optional[str] = None
 
 
 class _ServedModel:
     """One registry entry: deployment + its batcher."""
 
     def __init__(self, key: str, compiled: CompiledModel, soc,
-                 cfg: ServerConfig):
+                 cfg: ServerConfig, native_cache_dir: Optional[str] = None):
         self.key = key
         self.compiled = compiled
         self.soc = soc
         self.leases = 0  #: submits in flight between lookup and enqueue
         self.batcher = DynamicBatcher(
-            compiled, Executor(soc, exec_mode=cfg.exec_mode),
+            compiled, Executor(soc, exec_mode=cfg.exec_mode,
+                               native_cache_dir=(cfg.native_cache_dir
+                                                 or native_cache_dir)),
             max_batch_size=cfg.max_batch_size,
             max_wait_ms=cfg.max_wait_ms, name=key)
 
@@ -92,12 +100,15 @@ class InferenceServer:
     # -- registry ------------------------------------------------------------
 
     def register_model(self, compiled: CompiledModel, soc,
-                       fingerprint: Optional[str] = None) -> str:
+                       fingerprint: Optional[str] = None,
+                       native_cache_dir: Optional[str] = None) -> str:
         """Host an in-process compiled model; returns its registry key.
 
         ``fingerprint`` defaults to the model's content fingerprint —
         artifacts pass their deployment fingerprint (config + platform)
         instead so the key is stable across packs of the same config.
+        ``native_cache_dir`` seeds the native-library cache location
+        when the server runs with ``exec_mode="native"``.
         """
         fp = fingerprint or compiled.fingerprint()
         key = f"{compiled.name}@{fp[:12]}"
@@ -107,7 +118,8 @@ class InferenceServer:
             if key in self._models:
                 self._models.move_to_end(key)
                 return key
-            self._models[key] = _ServedModel(key, compiled, soc, self.config)
+            self._models[key] = _ServedModel(key, compiled, soc, self.config,
+                                             native_cache_dir)
             evict = self._evict_overflow_locked()
         for served in evict:  # drain outside the lock
             served.batcher.stop(wait=True)
@@ -140,8 +152,16 @@ class InferenceServer:
 
     def register_artifact(self, artifact, *args, **kwargs) -> str:
         """Host a packed deployment; accepts a path or a
-        :class:`~repro.serve.artifact.LoadedArtifact`."""
-        if not isinstance(artifact, LoadedArtifact):
+        :class:`~repro.serve.artifact.LoadedArtifact`.
+
+        When the server executes natively, the artifact's own directory
+        is the default library cache — the compile-once/serve-many
+        contract extends to machine code: ``repro pack --prebuild``
+        drops the ``.so`` next to the ``.dna`` and serving just maps it.
+        """
+        if isinstance(artifact, (str, bytes, os.PathLike)):
+            kwargs.setdefault("native_cache_dir",
+                              os.path.dirname(os.path.abspath(artifact)))
             artifact = load_artifact(artifact)
         return self.register_model(
             artifact.model, artifact.soc,

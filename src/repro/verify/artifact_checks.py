@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
-from .diagnostics import Diagnostic, error
+from .diagnostics import Diagnostic, error, warning
 from .graph_checks import check_graph
 from .memory_checks import check_memory_plan
 from .plan_checks import check_compiled_plan
@@ -55,7 +56,7 @@ def read_artifact_dict(path: str) -> Tuple[Optional[Dict[str, Any]],
     try:
         with gzip.open(path, "rt", encoding="utf-8") as f:
             obj = json.load(f)
-    except (OSError, ValueError, EOFError) as exc:
+    except (OSError, ValueError, EOFError, zlib.error) as exc:
         return None, [error(
             "V-ART-001", _STAGE,
             f"cannot read artifact (truncated or corrupt file): {exc}",
@@ -245,9 +246,54 @@ def check_artifact_dict(obj: Dict[str, Any],
     return diags
 
 
+def check_native_sidecar(path: str, fingerprint: str) -> List[Diagnostic]:
+    """Check the prebuilt native library next to a ``.dna``, if any.
+
+    ``repro pack --prebuild`` (and native-mode serving) drop a
+    ``native-<fp16>-abi<N>.so`` beside the artifact. A sidecar whose
+    embedded build key disagrees with the artifact fingerprint would be
+    silently rebuilt at load time — but on a deployment host that is a
+    packaging mistake worth flagging before serving starts (V-ART-010).
+    A sidecar that exists but cannot be loaded at all is only a warning
+    (V-ART-011): the executor falls back to ``fast`` and stays correct.
+    """
+    import os
+
+    from ..codegen.build import library_name, open_native_build_key
+
+    diags: List[Diagnostic] = []
+    lib = os.path.join(os.path.dirname(os.path.abspath(path)),
+                       library_name(fingerprint))
+    if not os.path.exists(lib):
+        return diags
+    try:
+        build_key = open_native_build_key(lib)
+    except Exception as exc:  # unloadable: degraded, not wrong
+        diags.append(warning(
+            "V-ART-011", _STAGE,
+            f"native library sidecar cannot be loaded ({exc}); "
+            f"native serving will rebuild or fall back to 'fast'",
+            location=lib))
+        return diags
+    if build_key != fingerprint:
+        diags.append(error(
+            "V-ART-010", _STAGE,
+            f"native library build key {build_key[:16]}... does not match "
+            f"artifact fingerprint {fingerprint[:16]}...; the sidecar was "
+            f"built from a different compiled model",
+            location=lib))
+    return diags
+
+
 def check_artifact_file(path: str, deep: bool = True) -> List[Diagnostic]:
-    """Read ``path`` and run :func:`check_artifact_dict` over it."""
+    """Read ``path`` and run :func:`check_artifact_dict` over it, plus
+    the file-level native-sidecar check (:func:`check_native_sidecar`).
+    """
     obj, diags = read_artifact_dict(path)
     if obj is None:
         return diags
-    return diags + check_artifact_dict(obj, deep=deep)
+    diags = diags + check_artifact_dict(obj, deep=deep)
+    fingerprint = obj.get("fingerprint")
+    if isinstance(fingerprint, str) and fingerprint:
+        diags.extend(check_native_sidecar(path, fingerprint))
+    return diags

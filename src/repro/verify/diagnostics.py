@@ -73,6 +73,8 @@ CODES: Dict[str, str] = {
     "V-ART-004": "stored config fingerprint disagrees with the stored config",
     "V-ART-005": "artifact failed integrity reconstruction (fingerprint)",
     "V-ART-006": "chain/mapping section inconsistent with the program",
+    "V-ART-010": "native library sidecar build key mismatches the artifact",
+    "V-ART-011": "native library sidecar exists but cannot be loaded",
     # runner ---------------------------------------------------------------
     "V-RUN-001": "grid cell skipped (expected out-of-memory deployment)",
 }

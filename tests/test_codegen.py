@@ -1,5 +1,6 @@
 """C code generation and binary-size model tests."""
 
+import re
 import shutil
 import subprocess
 
@@ -7,7 +8,7 @@ import pytest
 
 from repro.codegen import classify_body, emit_cpu_kernel, kernel_signature
 from repro.codegen.c_writer import CWriter
-from repro.core import HTVM, TVM_CPU, compile_model, compute_size
+from repro.core import HTVM, TVM_CPU, compile_model
 from repro.dory import DoryTiler, digital_heuristics, emit_accel_layer, make_conv_spec
 from repro.frontend.modelzoo import resnet8, toyadmos_dae
 from repro.soc import DEFAULT_PARAMS, DianaSoC
@@ -124,34 +125,76 @@ class TestSizeModel:
 
 
 @pytest.mark.skipif(shutil.which("gcc") is None, reason="gcc not available")
-class TestCSyntax:
-    def test_emitted_network_compiles_with_stubs(self, digital_soc,
-                                                 small_cnn, tmp_path):
+def _compiler():
+    for cand in ("cc", "gcc", "clang"):
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+class TestNetworkEmission:
+    """Regressions for the emitted top-level network function."""
+
+    def test_network_defines_every_sizeof_identifier(self, digital_soc,
+                                                     small_cnn):
+        # the historical bug: memcpy(output, ..., sizeof_<output>) was
+        # emitted with no matching enum when the output buffer's size
+        # constant was never declared — the network only compiled by
+        # accident against sources that happened to define it.
         model = compile_model(small_cnn, digital_soc, HTVM)
-        stub = """
-#include <stdint.h>
-#include <string.h>
-#define IDX_IN(...) 0
-#define IDX_W(...) 0
-#define IDX_OUT(...) 0
-#define SRA_ROUND(x, s) ((x) >> (s))
-#define CLIP(x, lo, hi) ((x) < (lo) ? (lo) : ((x) > (hi) ? (hi) : (x)))
-static float softmax_f32(const void* t, int n, int i) { return 0.0f; }
-static int8_t* diana_l1_alloc(int n) { (void)n; return 0; }
-static void diana_l1_free_all(void) {}
-static void diana_dig_load_weights(const int8_t* w, int k0) {}
-static void diana_analog_load_macro(const int8_t* w) {}
-static void dma_2d_in(void* a, const void* b, int k, int y, int x) {}
-static void dma_2d_out(void* a, const void* b, int k, int y, int x) {}
-static void diana_digital_run(void* i, void* o, int s, int r) {}
-static void diana_analog_run(void* i, void* o, int s, int r) {}
-"""
+        src = model.c_sources["network.c"]
+        used = set(re.findall(r"\bsizeof_(\w+)", src))
+        defined = set(re.findall(r"enum \{ sizeof_(\w+) =", src))
+        assert used, "network.c should reference planned buffer sizes"
+        assert used <= defined, f"undefined: {sorted(used - defined)}"
+
+    def test_network_includes_runtime_header(self, digital_soc, small_cnn):
+        model = compile_model(small_cnn, digital_soc, HTVM)
+        assert "repro_runtime.h" in model.c_sources
+        assert '#include "repro_runtime.h"' in model.c_sources["network.c"]
+
+    def test_prototypes_deduplicated(self):
+        # toyadmos has 4 identical 128x128 FC layers sharing one kernel;
+        # its prototype must appear exactly once in network.c
+        g = toyadmos_dae()
+        soc = DianaSoC(enable_analog=False)
+        model = compile_model(g, soc, HTVM)
+        src = model.c_sources["network.c"]
+        protos = re.findall(r"^void (\w+)\(.*\);$", src, re.M)
+        assert len(protos) == len(set(protos))
+
+
+class TestCSyntax:
+    """Every generated source set compiles standalone, warnings fatal."""
+
+    @pytest.mark.skipif(_compiler() is None, reason="no C compiler")
+    @pytest.mark.parametrize("graph_fn", [build_small_cnn, toyadmos_dae,
+                                          resnet8])
+    def test_sources_compile_standalone(self, digital_soc, graph_fn,
+                                        tmp_path):
+        model = compile_model(graph_fn(), digital_soc, HTVM)
         for name, src in model.c_sources.items():
-            if name == "network.c":
-                continue  # needs full symbol plumbing; drivers suffice
-            path = tmp_path / name
-            path.write_text(stub + src)
+            (tmp_path / name).write_text(src)
+        cc = _compiler()
+        for name in model.c_sources:
+            if not name.endswith(".c"):
+                continue
             proc = subprocess.run(
-                ["gcc", "-fsyntax-only", "-std=c99", str(path)],
+                [cc, "-fsyntax-only", "-std=c11", "-Wall", "-Werror",
+                 "-I", str(tmp_path), str(tmp_path / name)],
                 capture_output=True, text=True)
-            assert proc.returncode == 0, f"{name}:\n{proc.stderr}\n{src}"
+            assert proc.returncode == 0, f"{name}:\n{proc.stderr}"
+
+    @pytest.mark.skipif(_compiler() is None, reason="no C compiler")
+    def test_native_source_compiles_standalone(self, digital_soc,
+                                               small_cnn, tmp_path):
+        from repro.codegen import emit_native_sources
+
+        model = compile_model(small_cnn, digital_soc, HTVM)
+        path = tmp_path / "native.c"
+        path.write_text(emit_native_sources(model))
+        proc = subprocess.run(
+            [_compiler(), "-fsyntax-only", "-std=c11", "-Wall", "-Werror",
+             str(path)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0, f"native.c:\n{proc.stderr}"
