@@ -1,0 +1,232 @@
+"""Observability overhead benchmark and model-fidelity report.
+
+The tracing hot path in :mod:`repro.runtime.executor` is one
+``tracer = get_tracer()`` per run plus one ``tracer is not None``
+branch per executed step. This benchmark gates that contract:
+
+* **disabled overhead** — end-to-end fast-mode wall clock with the
+  tracer disabled vs. the per-step guard cost measured directly by a
+  microbenchmark. The committed gate is
+  ``guard_ns * steps / fast_ns <= 2%`` — a machine-portable bound
+  (both sides scale with the host) rather than a comparison between
+  two noisy end-to-end timings;
+* **enabled overhead** — the same fast run under ``enable_tracing()``
+  (span records + ``monotonic_ns`` stamps), reported but not gated:
+  enabling tracing is an explicit, paid-for choice;
+* **model fidelity** — per-model measured-vs-modeled totals from
+  :func:`repro.obs.profile_model`, the table behind
+  ``docs/OBSERVABILITY.md``.
+
+``--check`` runs only the disabled-overhead gate (the CI obs-smoke
+job); a full run writes ``BENCH_obs.json``. Runs standalone
+(``python benchmarks/bench_obs.py --reps 3``) and under pytest.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from bench_timing import best_of
+from repro.core.compiler import compile_model
+from repro.eval.harness import CONFIGS
+from repro.frontend.modelzoo import MLPERF_TINY
+from repro.obs import disable_tracing, enable_tracing, profile_model
+from repro.obs.trace import get_tracer
+from repro.runtime import Executor, random_inputs
+from repro.soc import DianaSoC
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_obs.json"
+MODELS = ("dscnn", "mobilenet", "resnet", "toyadmos")
+REPS = 5
+GATE_PCT = 2.0  #: max disabled-tracing overhead on the fast path
+
+
+def _compiled(model: str):
+    precision, soc_kwargs, cfg = CONFIGS["digital"]
+    graph = MLPERF_TINY[model](precision=precision)
+    soc = DianaSoC(**soc_kwargs)
+    return graph, soc, compile_model(graph, soc, cfg)
+
+
+def guard_cost_ns(iters: int = 200_000) -> float:
+    """Per-step cost of the disabled-tracing guard, in nanoseconds.
+
+    Times exactly what the executor adds per step when tracing is off:
+    a ``get_tracer()`` module-global read plus an ``is not None``
+    branch, against a calibration loop without them.
+    """
+    assert get_tracer() is None
+    acc = 0
+
+    def with_guard():
+        nonlocal acc
+        for _ in range(iters):
+            tracer = get_tracer()
+            if tracer is not None:  # pragma: no cover - tracing is off
+                acc += 1
+
+    def bare_loop():
+        nonlocal acc
+        for _ in range(iters):
+            tracer = None
+            if tracer is not None:  # pragma: no cover
+                acc += 1
+
+    guarded = best_of(with_guard, 5)
+    bare = best_of(bare_loop, 5)
+    return max(guarded - bare, 0.0) * 1e9 / iters
+
+
+def run_gate(models=MODELS, reps: int = REPS) -> dict:
+    """The CI gate: projected disabled overhead must stay under 2%.
+
+    The projection ``guard_ns * steps / fast_ns`` is deliberately
+    pessimistic — it charges the full microbenchmarked guard cost to
+    every step of the fastest observed run.
+    """
+    guard_ns = guard_cost_ns()
+    rows = {}
+    for model in models:
+        graph, soc, compiled = _compiled(model)
+        feeds = random_inputs(graph, seed=1)
+        executor = Executor(soc, exec_mode="fast")
+        executor.run(compiled, feeds)  # warm caches
+        fast_s = best_of(lambda: executor.run(compiled, feeds), reps)
+        steps = len(compiled.steps)
+        overhead_pct = 100.0 * guard_ns * steps / (fast_s * 1e9)
+        rows[model] = {
+            "fast_s": fast_s,
+            "steps": steps,
+            "disabled_overhead_pct": overhead_pct,
+        }
+        if overhead_pct > GATE_PCT:
+            raise AssertionError(
+                f"{model}: projected disabled-tracing overhead "
+                f"{overhead_pct:.3f}% exceeds the {GATE_PCT}% gate "
+                f"(guard {guard_ns:.1f} ns x {steps} steps over "
+                f"{fast_s * 1e3:.3f} ms)")
+    return {"guard_ns": guard_ns, "gate_pct": GATE_PCT, "models": rows}
+
+
+def run_bench(models=MODELS, reps: int = REPS, write: bool = True) -> dict:
+    gate = run_gate(models, reps)
+    record = {
+        "gate": gate,
+        "models": {},
+        "fidelity": {},
+    }
+    for model in models:
+        graph, soc, compiled = _compiled(model)
+        feeds = random_inputs(graph, seed=1)
+        executor = Executor(soc, exec_mode="fast")
+        executor.run(compiled, feeds)
+        disabled_s = best_of(lambda: executor.run(compiled, feeds), reps)
+
+        def traced_run():
+            executor.run(compiled, feeds)
+            get_tracer().drain()  # keep the span buffer flat
+
+        tracer = enable_tracing()
+        try:
+            traced_run()
+            enabled_s = best_of(traced_run, reps)
+        finally:
+            disable_tracing()
+            tracer.drain()
+        record["models"][model] = {
+            "disabled_s": disabled_s,
+            "enabled_s": enabled_s,
+            "enabled_overhead_pct":
+                100.0 * (enabled_s - disabled_s) / disabled_s,
+            "steps": len(compiled.steps),
+        }
+        report = profile_model(compiled, soc, exec_mode="fast",
+                               runs=reps, feeds=feeds)
+        record["fidelity"][model] = {
+            "measured_ms": report["total_measured_ms"],
+            "modeled_ms": report["total_modeled_ms"],
+            "ratio": report["ratio"],
+            "steps": report["steps"],
+        }
+    if write:
+        OUT.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    return record
+
+
+def _format(record: dict) -> str:
+    gate = record["gate"]
+    lines = [
+        f"disabled-tracing guard: {gate['guard_ns']:.1f} ns/step "
+        f"(gate: <= {gate['gate_pct']}% of the fast path)",
+    ]
+    for model, r in record["models"].items():
+        g = gate["models"][model]
+        lines.append(
+            f"  {model:10s} fast {r['disabled_s'] * 1e3:7.3f} ms  "
+            f"disabled-overhead {g['disabled_overhead_pct']:.3f}%  "
+            f"traced {r['enabled_s'] * 1e3:7.3f} ms "
+            f"({r['enabled_overhead_pct']:+.1f}%)")
+    lines.append("model fidelity (measured vs modeled, fast mode):")
+    for model, f in record["fidelity"].items():
+        lines.append(
+            f"  {model:10s} measured {f['measured_ms']:8.3f} ms  "
+            f"modeled {f['modeled_ms']:8.3f} ms  "
+            f"ratio {f['ratio']:.2f} over {f['steps']} steps")
+    return "\n".join(lines)
+
+
+def test_disabled_overhead_gate(report):
+    """CI variant: gate one model, sanity-check the traced run."""
+    gate = run_gate(models=("dscnn",), reps=3)
+    assert gate["models"]["dscnn"]["disabled_overhead_pct"] <= GATE_PCT
+    graph, soc, compiled = _compiled("dscnn")
+    fidelity = profile_model(compiled, soc, exec_mode="fast", runs=2,
+                             feeds=random_inputs(graph, seed=1))
+    assert fidelity["steps"] == len(compiled.steps)
+    assert fidelity["total_measured_ms"] > 0
+    report(_format({"gate": gate, "models": {}, "fidelity": {
+        "dscnn": {"measured_ms": fidelity["total_measured_ms"],
+                  "modeled_ms": fidelity["total_modeled_ms"],
+                  "ratio": fidelity["ratio"],
+                  "steps": fidelity["steps"]}}}))
+
+
+def main(argv=None) -> int:
+    global OUT
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--models", nargs="+", default=list(MODELS),
+                        choices=sorted(MLPERF_TINY))
+    parser.add_argument("--check", action="store_true",
+                        help="disabled-overhead gate only, no timings, "
+                             "no BENCH_obs.json")
+    parser.add_argument("--out", default=str(OUT))
+    args = parser.parse_args(argv)
+    OUT = pathlib.Path(args.out)
+    t0 = time.perf_counter()
+    try:
+        if args.check:
+            gate = run_gate(models=tuple(args.models), reps=args.reps)
+            for model, r in gate["models"].items():
+                print(f"  {model}: disabled overhead "
+                      f"{r['disabled_overhead_pct']:.3f}% "
+                      f"<= {GATE_PCT}%")
+            print(f"OK: guard {gate['guard_ns']:.1f} ns/step, "
+                  f"{len(gate['models'])} models under the gate "
+                  f"({time.perf_counter() - t0:.1f}s)")
+            return 0
+        record = run_bench(models=tuple(args.models), reps=args.reps)
+        print(_format(record))
+        print(f"wrote {OUT}")
+        return 0
+    except AssertionError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,23 @@ and zoo models behind the dynamic-batching inference server — either an
 interactive request loop or ``--requests N --clients K`` load
 generation.
 
+Observability (see docs/OBSERVABILITY.md)::
+
+    python -m repro.cli trace resnet --exec-mode fast -o trace.json
+    python -m repro.cli trace resnet8 --fleet -o trace.json
+    python -m repro.cli stats --json
+    python -m repro.cli serve resnet --requests 64 --metrics metrics.prom
+
+``trace`` records one traced compile + inference as a span tree
+(Perfetto / ``chrome://tracing``-loadable JSON) and prints the
+model-fidelity table (measured host wall-time vs. the analytic cycle
+model, per step); ``--fleet`` routes the requests through real worker
+processes so the trace shows one request id crossing the worker-pipe
+boundary. ``stats`` prints the merged ``repro-stats/1`` snapshot
+federating batcher, server, fleet, tiling-cache, and native-build
+counters; ``serve --metrics <file|port>`` exposes the same snapshot in
+Prometheus text exposition format.
+
 Static checks (see docs/CHECKS.md)::
 
     python -m repro.cli check resnet --config digital
@@ -98,7 +115,14 @@ from .soc import DianaSoC, latency_ms
 from .soc.energy import energy_by_target_uj, execution_energy_uj
 
 
+#: paper-style spellings accepted anywhere a zoo name is (the paper
+#: calls the MLPerf Tiny networks ResNet8 / DS-CNN / MobileNetV1).
+_MODEL_ALIASES = {"resnet8": "resnet", "ds-cnn": "dscnn",
+                  "mobilenetv1": "mobilenet"}
+
+
 def _load_model(name: str, precision: str):
+    name = _MODEL_ALIASES.get(name.lower(), name)
     if name in MLPERF_TINY:
         return MLPERF_TINY[name](precision=precision)
     if os.path.exists(name):
@@ -635,6 +659,8 @@ def _serve_fleet(args) -> int:
                 rc = 1
         print()
         print(fleet.format_stats())
+        if getattr(args, "metrics", None):
+            _emit_metrics(args.metrics, lambda: {"fleet": fleet.stats()})
         if rc:
             print("FAIL: lost or failed requests (see above)",
                   file=sys.stderr)
@@ -657,10 +683,170 @@ def cmd_serve(args) -> int:
                   f"({compiled.name}, {len(compiled.steps)} kernels)")
             served[key] = compiled
         if args.requests:
-            return _serve_load_loop(server, served, args)
-        return _serve_interactive(server, served, args)
+            rc = _serve_load_loop(server, served, args)
+        else:
+            rc = _serve_interactive(server, served, args)
+        if getattr(args, "metrics", None):
+            _emit_metrics(args.metrics, lambda: {"server": server.stats()})
+        return rc
     finally:
         server.shutdown(wait=True)
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: record one traced compile + inference."""
+    from .obs import (
+        disable_tracing, enable_tracing, fidelity_from_spans,
+        format_fidelity, trace_span, write_chrome_trace,
+    )
+
+    precision, soc, cfg = _setup(args.config, args)
+    graph = _load_model(args.model, precision)
+    enable_tracing()
+    try:
+        if args.fleet:
+            # pack + serve through real worker processes so the trace
+            # shows request spans crossing the worker-pipe boundary
+            import tempfile
+
+            from .serve import FleetConfig, ServingFleet, pack_model
+            with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+                path = os.path.join(tmp, f"{graph.name}.dna")
+                model = pack_model(graph, soc, cfg, path).model
+                fleet_cfg = FleetConfig(workers=args.workers,
+                                        exec_mode=args.exec_mode)
+                with ServingFleet(fleet_cfg) as fleet:
+                    key = fleet.add_deployment(path, key=graph.name)
+                    if not fleet.wait_ready(key, timeout=120):
+                        print("error: fleet failed to become ready",
+                              file=sys.stderr)
+                        return 1
+                    feeds = random_inputs(graph, seed=args.seed)
+                    futs = [fleet.submit(key, feeds)
+                            for _ in range(args.requests)]
+                    for fut in futs:
+                        fut.result(timeout=120)
+        else:
+            try:
+                model = compile_model(graph, soc, cfg)
+            except OutOfMemoryError as exc:
+                print(f"OUT OF MEMORY: {exc}")
+                return 2
+            executor = Executor(soc, exec_mode=args.exec_mode)
+            feeds = random_inputs(graph, seed=args.seed)
+            for i in range(args.requests):
+                with trace_span("exec.run", category="exec",
+                                model=model.name, run=i,
+                                exec_mode=args.exec_mode):
+                    executor.run(model, feeds)
+    finally:
+        tracer = disable_tracing()
+    spans = tracer.drain() if tracer is not None else []
+    write_chrome_trace(args.out, spans, metadata={
+        "model": model.name, "config": args.config,
+        "exec_mode": args.exec_mode, "fleet": bool(args.fleet)})
+    by_cat: dict = {}
+    for s in spans:
+        by_cat[s.category or "other"] = by_cat.get(s.category or "other",
+                                                   0) + 1
+    cats = ", ".join(f"{k}={v}" for k, v in sorted(by_cat.items()))
+    print(f"wrote {args.out}: {len(spans)} spans ({cats})")
+    # only steps executed in the requested mode: with --fleet the trace
+    # also holds pack-time validation runs (tiled), which would skew
+    # the table
+    report = fidelity_from_spans(
+        [s for s in spans
+         if s.attrs.get("exec_mode", args.exec_mode) == args.exec_mode],
+        params=soc.params, model=model.name, exec_mode=args.exec_mode)
+    if report["rows"]:
+        print()
+        print(format_fidelity(report))
+    return 0
+
+
+def _format_stats_snapshot(snap) -> str:
+    """Human rendering of a ``repro-stats/1`` snapshot."""
+    from .mapping import format_columns
+
+    lines = []
+    if snap["counters"]:
+        rows = [[k, str(int(v))]
+                for k, v in sorted(snap["counters"].items())]
+        lines += ["counters:", format_columns(["name", "value"], rows)]
+    if snap["gauges"]:
+        rows = [[k, f"{v:g}"] for k, v in sorted(snap["gauges"].items())]
+        lines += ["gauges:", format_columns(["name", "value"], rows)]
+    if snap["histograms"]:
+        rows = [[k, str(h["count"]), f"{h.get('p50', 0):.3f}",
+                 f"{h.get('p99', 0):.3f}", f"{h.get('max', 0):.3f}"]
+                for k, h in sorted(snap["histograms"].items())]
+        lines += ["histograms (ms):",
+                  format_columns(["name", "n", "p50", "p99", "max"], rows)]
+    for section, stats in sorted((snap.get("subsystems") or {}).items()):
+        if isinstance(stats, dict):
+            pairs = ", ".join(f"{k}={v}" for k, v in stats.items()
+                              if not isinstance(v, (dict, list)))
+            lines.append(f"{section}: {pairs}")
+    if snap.get("events"):
+        lines.append(f"events: {len(snap['events'])} recorded "
+                     f"(latest: {snap['events'][-1]['name']})")
+    return "\n".join(lines) if lines else "no metrics recorded"
+
+
+def cmd_stats(args) -> int:
+    """``repro stats``: the merged cross-subsystem snapshot."""
+    import json
+
+    from .obs import merged_snapshot, to_prometheus
+
+    snap = merged_snapshot()
+    if args.json:
+        print(json.dumps(snap, indent=2, default=str))
+    elif args.prom:
+        print(to_prometheus(snap), end="")
+    else:
+        print(_format_stats_snapshot(snap))
+    return 0
+
+
+def _emit_metrics(dest: str, extra_fn=None) -> None:
+    """``serve --metrics``: all digits = HTTP port to scrape, anything
+    else = file to write one Prometheus text dump to."""
+    from .obs import merged_snapshot, to_prometheus
+
+    def _text() -> str:
+        extra = extra_fn() if extra_fn is not None else None
+        return to_prometheus(merged_snapshot(extra=extra))
+
+    if dest.isdigit():
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):
+                body = _text().encode()
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *a):
+                pass
+
+        httpd = HTTPServer(("127.0.0.1", int(dest)), _Handler)
+        print(f"metrics: scrape http://127.0.0.1:{dest}/metrics "
+              f"(ctrl-c to stop)")
+        try:
+            httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            httpd.server_close()
+    else:
+        with open(dest, "w") as fh:
+            fh.write(_text())
+        print(f"metrics: wrote {dest}")
 
 
 def cmd_table1(args) -> int:
@@ -726,7 +912,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="accelerator simulation path: 'tiled' executes "
                             "every DORY tile (verification mode), 'fast' "
                             "computes full layers with identical outputs "
-                            "and cycle counts (default: %(default)s)")
+                            "and cycle counts, 'depthfirst' runs fused "
+                            "patch-based conv chains, 'native' executes "
+                            "the generated C via a cached shared library "
+                            "(default: %(default)s)")
 
     def add_mapping_arg(p, default=None):
         from .mapping import STRATEGIES
@@ -915,11 +1104,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-seed", type=int, default=0,
                    help="seed for --chaos fault injection "
                         "(default: %(default)s)")
+    p.add_argument("--metrics",
+                   help="expose the merged metrics snapshot as "
+                        "Prometheus text: all digits = HTTP port to "
+                        "serve /metrics on, anything else = file to "
+                        "write one dump to after serving")
     add_cache_args(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)
     add_exec_mode_arg(p, default="fast")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="record a traced compile + inference as Perfetto-loadable "
+             "JSON (see docs/OBSERVABILITY.md)")
+    p.add_argument("model")
+    p.add_argument("--config", choices=list(CONFIGS), default="mixed")
+    p.add_argument("-o", "--out", default="trace.json",
+                   help="trace-event JSON output path "
+                        "(default: %(default)s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--requests", type=int, default=1,
+                   help="inferences to trace (default: %(default)s)")
+    p.add_argument("--fleet", action="store_true",
+                   help="route the requests through the multi-process "
+                        "fleet so the trace shows request spans crossing "
+                        "the worker-pipe boundary")
+    p.add_argument("--workers", type=int, default=1,
+                   help="fleet workers with --fleet (default: %(default)s)")
+    add_cache_args(p)
+    add_exec_mode_arg(p, default="fast")
+    add_mapping_arg(p)
+    add_depthfirst_arg(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "stats",
+        help="merged observability snapshot: counters, gauges, "
+             "histograms, and subsystem stats in one schema")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable repro-stats/1 JSON")
+    p.add_argument("--prom", action="store_true",
+                   help="emit Prometheus text exposition instead")
+    p.set_defaults(fn=cmd_stats)
 
     for name, fn in (("table1", cmd_table1), ("table2", cmd_table2),
                      ("fig4", cmd_fig4), ("fig5", cmd_fig5)):

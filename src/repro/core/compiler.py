@@ -29,6 +29,7 @@ from ..dory.memory_plan import TensorLife, lifetimes_from_steps, plan_memory
 from ..dory.tiler import DoryTiler
 from ..errors import CodegenError, OutOfMemoryError
 from ..ir import Composite, Graph
+from ..obs.trace import trace_span
 from ..soc.diana import DianaSoC
 from ..transforms import (
     PassManager, Pass, canonicalize, eliminate_dead_code, fold_constants,
@@ -74,20 +75,38 @@ def compile_model(graph: Graph, soc: DianaSoC,
     default the process-wide cache is used when ``config.tiling_cache``
     is set (pass an explicit :class:`TilingCache` for isolation, e.g.
     in tests or sharded builds).
+
+    When tracing is enabled (:func:`repro.obs.enable_tracing` or
+    ``repro trace``) every phase — each front-end transform, the
+    partitioner, the mapping search, each per-layer tiler solve, the
+    L2 planner, and code emission — records a span under one
+    ``compile.model`` root.
     """
+    with trace_span("compile.model", category="compile",
+                    model=graph.name, config=config.name):
+        return _compile(graph, soc, config, cache)
+
+
+def _compile(graph: Graph, soc: DianaSoC, config: CompilerConfig,
+             cache: Optional[TilingCache]) -> CompiledModel:
     if cache is None and config.tiling_cache:
         cache = get_default_cache()
-    graph = _frontend(graph, config)
+    with trace_span("compile.frontend", category="compile"):
+        graph = _frontend(graph, config)
 
     decisions = []
     if config.offload and soc.accelerators:
-        graph = partition(graph, default_specs())
+        with trace_span("compile.partition", category="compile"):
+            graph = partition(graph, default_specs())
         if config.verify_passes:
             _verify_stage("transform:partition", graph)
-        graph, decisions = plan_mapping(graph, soc, config, cache=cache)
+        with trace_span("compile.mapping", category="compile",
+                        strategy=config.mapping_strategy):
+            graph, decisions = plan_mapping(graph, soc, config, cache=cache)
         if config.verify_passes:
             _verify_stage("transform:mapping", graph)
-    graph = fuse_cpu_ops(graph)
+    with trace_span("compile.fuse_cpu_ops", category="compile"):
+        graph = fuse_cpu_ops(graph)
     if config.verify_passes:
         _verify_stage("transform:fuse_cpu_ops", graph)
 
@@ -133,8 +152,10 @@ def compile_model(graph: Graph, soc: DianaSoC,
                 heuristic_set_for(config.heuristics, comp.target),
                 alpha=config.alpha, l1_budget=config.l1_budget,
             )
-            sol = (cache.solve(tiler, spec) if cache is not None
-                   else tiler.solve(spec))
+            with trace_span("compile.tiler_solve", category="compile",
+                            layer=spec.name, target=comp.target):
+                sol = (cache.solve(tiler, spec) if cache is not None
+                       else tiler.solve(spec))
             fn_name = f"dory_layer_{i}"
             kernel_sources[f"{fn_name}.c"] = emit_accel_layer(
                 fn_name, sol, soc.params)
@@ -154,8 +175,10 @@ def compile_model(graph: Graph, soc: DianaSoC,
     step_io = [(s.input_names, s.output_name) for s in steps]
     sizes = {name: buf.size_bytes for name, buf in buffers.items()}
     input_names = [v.name for v in graph.inputs]
-    lifetimes = lifetimes_from_steps(step_io, sizes, input_names, output_name)
-    plan = plan_memory(lifetimes, reuse=config.buffer_reuse)
+    with trace_span("compile.plan_memory", category="compile"):
+        lifetimes = lifetimes_from_steps(step_io, sizes, input_names,
+                                         output_name)
+        plan = plan_memory(lifetimes, reuse=config.buffer_reuse)
 
     size = compute_size(steps, soc.params, runtime=config.runtime)
 
@@ -165,9 +188,11 @@ def compile_model(graph: Graph, soc: DianaSoC,
         from ..extensions.depthfirst import plan_depthfirst_steps
 
         budget = soc.params.l2_bytes - size.total
-        df_chains = plan_depthfirst_steps(
-            steps, output_name, budget, mode=config.depthfirst,
-            arena_bytes=plan.arena_bytes)
+        with trace_span("compile.depthfirst", category="compile",
+                        mode=config.depthfirst):
+            df_chains = plan_depthfirst_steps(
+                steps, output_name, budget, mode=config.depthfirst,
+                arena_bytes=plan.arena_bytes)
         if df_chains:
             # re-plan L2: chain interiors shrink to patch slabs, while
             # the chain input/output must stay live across the whole
@@ -216,10 +241,12 @@ def compile_model(graph: Graph, soc: DianaSoC,
             f"({soc.params.l2_bytes} B)"
         )
 
-    kernel_sources[RUNTIME_HEADER] = emit_runtime_header()
-    kernel_sources["network.c"] = emit_network(
-        graph.name, steps, kernel_names, plan,
-        [v.name for v in graph.inputs], output_name)
+    with trace_span("compile.emit", category="compile",
+                    kernels=len(kernel_sources)):
+        kernel_sources[RUNTIME_HEADER] = emit_runtime_header()
+        kernel_sources["network.c"] = emit_network(
+            graph.name, steps, kernel_names, plan,
+            [v.name for v in graph.inputs], output_name)
 
     compiled = CompiledModel(
         name=graph.name, config_name=config.name, steps=steps,

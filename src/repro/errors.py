@@ -82,15 +82,25 @@ class ServingError(ReproError):
     whether resubmitting the identical request can succeed. Both may be
     overridden per instance (e.g. a generic :class:`ServingError`
     raised at shutdown carries ``code="S-SHUTDOWN"``).
+
+    ``request_id`` is the client-visible identifier of the request the
+    error is about (``<deployment>#<seq>``), set by the serving fleet
+    on every error it raises — including admission rejections — so a
+    failure in a chaos run is traceable to one specific request in the
+    logs, traces, and :mod:`repro.eval.loadgen`'s per-code ledger.
     """
 
     code: str = "S-GENERIC"
     retryable: bool = False
+    request_id: Optional[str] = None
 
-    def __init__(self, message: str = "", *, code: Optional[str] = None):
+    def __init__(self, message: str = "", *, code: Optional[str] = None,
+                 request_id: Optional[str] = None):
         super().__init__(message)
         if code is not None:
             self.code = code
+        if request_id is not None:
+            self.request_id = request_id
 
 
 class ServingTimeoutError(ServingError):

@@ -49,6 +49,10 @@ class LoadReport:
     failed: int = 0          #: other typed serving failures
     lost: int = 0            #: accepted but never resolved — must be 0
     errors_by_code: Dict[str, int] = field(default_factory=dict)
+    #: first few client-visible request ids per error code (capped at
+    #: :data:`LEDGER_CAP` each) — the handle for chasing one failure
+    #: through logs and traces
+    request_ids_by_code: Dict[str, List[str]] = field(default_factory=dict)
     latencies_ms: List[float] = field(default_factory=list)
 
     @property
@@ -83,6 +87,9 @@ class LoadReport:
             "lost": self.lost,
             "throughput_rps": round(self.throughput_rps, 2),
             "errors_by_code": dict(sorted(self.errors_by_code.items())),
+            "request_ids_by_code": {
+                k: list(v)
+                for k, v in sorted(self.request_ids_by_code.items())},
             **self.latency_summary(),
         }
 
@@ -142,6 +149,8 @@ def run_load(fleet, key: str, feeds: Dict[str, Any], *, clients: int = 4,
                         # wait timeout with the future still pending:
                         # the request is unaccounted — a lost request
                         report.lost += 1
+                        _ledger(report, "LOST",
+                                getattr(fut, "request_id", ""))
             except ServingError as exc:
                 with lock:
                     report.failed += 1
@@ -160,9 +169,23 @@ def run_load(fleet, key: str, feeds: Dict[str, Any], *, clients: int = 4,
     return report
 
 
+#: request ids kept per error code in the report's ledger.
+LEDGER_CAP = 8
+
+
 def _count(report: LoadReport, exc: ServingError) -> None:
     code = getattr(exc, "code", "S-GENERIC")
     report.errors_by_code[code] = report.errors_by_code.get(code, 0) + 1
+    _ledger(report, code, getattr(exc, "request_id", None))
+
+
+def _ledger(report: LoadReport, code: str,
+            request_id: Optional[str]) -> None:
+    if not request_id:
+        return
+    ids = report.request_ids_by_code.setdefault(code, [])
+    if len(ids) < LEDGER_CAP:
+        ids.append(request_id)
 
 
 def format_load_report(report: LoadReport) -> str:
@@ -182,4 +205,8 @@ def format_load_report(report: LoadReport) -> str:
         pairs = ", ".join(f"{k}={v}" for k, v in
                           sorted(report.errors_by_code.items()))
         lines.append(f"error codes: {pairs}")
+    for code, ids in sorted(report.request_ids_by_code.items()):
+        shown = ", ".join(ids[:4])
+        more = f" (+{len(ids) - 4} more)" if len(ids) > 4 else ""
+        lines.append(f"  {code}: {shown}{more}")
     return "\n".join(lines)

@@ -476,32 +476,37 @@ def analyze_mapping(pgraph: Graph, soc, config, cache=None,
         from ..core.cache import get_default_cache  # avoid an import cycle
         cache = get_default_cache()
 
-    sites = enumerate_sites(pgraph, soc, config, cache, energy)
+    from ..obs.trace import trace_span
+
+    with trace_span("mapping.enumerate_sites", category="compile"):
+        sites = enumerate_sites(pgraph, soc, config, cache, energy)
     edges = build_edges(pgraph, sites)
     baseline = _rules_assignment(sites)
 
-    if strategy == "rules":
-        assignment = list(baseline)
-    elif strategy == "greedy":
-        assignment = _greedy_assignment(sites, objective)
-    else:  # "dp"
-        coupling = _site_edges(edges)
-        node_cost = _fixed_costs(sites, edges, soc, objective, energy)
-        if _is_linear(sites, coupling):
-            assignment = _chain_dp(sites, coupling, node_cost, soc,
-                                   objective, energy)
-        else:
-            assignment = _beam_search(sites, coupling, node_cost, soc,
-                                      objective, energy,
-                                      config.mapping_beam_width)
-        # safety net: never worse than the seed policy under the same
-        # objective (beam search carries no optimality guarantee)
-        best = evaluate_assignment(sites, edges, assignment, soc,
-                                   objective, energy)[2]
-        base = evaluate_assignment(sites, edges, baseline, soc,
-                                   objective, energy)[2]
-        if base < best:
+    with trace_span("mapping.search", category="compile",
+                    strategy=strategy, sites=len(sites)):
+        if strategy == "rules":
             assignment = list(baseline)
+        elif strategy == "greedy":
+            assignment = _greedy_assignment(sites, objective)
+        else:  # "dp"
+            coupling = _site_edges(edges)
+            node_cost = _fixed_costs(sites, edges, soc, objective, energy)
+            if _is_linear(sites, coupling):
+                assignment = _chain_dp(sites, coupling, node_cost, soc,
+                                       objective, energy)
+            else:
+                assignment = _beam_search(sites, coupling, node_cost, soc,
+                                          objective, energy,
+                                          config.mapping_beam_width)
+            # safety net: never worse than the seed policy under the same
+            # objective (beam search carries no optimality guarantee)
+            best = evaluate_assignment(sites, edges, assignment, soc,
+                                       objective, energy)[2]
+            base = evaluate_assignment(sites, edges, baseline, soc,
+                                       objective, energy)[2]
+            if base < best:
+                assignment = list(baseline)
 
     cycles, pj, cost, transfer = evaluate_assignment(
         sites, edges, assignment, soc, objective, energy)

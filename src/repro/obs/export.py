@@ -1,0 +1,173 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text exposition.
+
+Two output formats, both standard and tool-loadable:
+
+* :func:`to_chrome_trace` — the Trace Event Format (JSON object with a
+  ``traceEvents`` array of complete ``ph="X"`` events). Load the file
+  in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` to see
+  the span tree on a timeline, one track per (pid, thread).
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` plus samples; histograms expand into
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` series). Point a scraper
+  at ``repro serve --metrics <port>`` or diff two ``--metrics <file>``
+  dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .trace import Span
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "to_prometheus"]
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def to_chrome_trace(spans: Sequence[Span],
+                    metadata: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+    """Spans -> Trace Event Format dict (``json.dump`` it as-is).
+
+    Each span becomes one complete event (``ph="X"``) with
+    microsecond ``ts``/``dur`` on the shared monotonic clock; span
+    identity and parentage ride in ``args`` so the tree survives the
+    round trip even though the timeline view only needs nesting.
+    """
+    events: List[Dict[str, Any]] = []
+    threads = {}  # (pid, thread name) -> tid
+    for span in spans:
+        tid = threads.setdefault((span.pid, span.thread),
+                                 len(threads) + 1)
+        args: Dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        for k, v in span.attrs.items():
+            args[k] = _json_safe(v)
+        events.append({
+            "name": span.name,
+            "cat": span.category or "default",
+            "ph": "X",
+            "ts": span.t_start_ns / 1e3,   # microseconds
+            "dur": span.duration_ns / 1e3,
+            "pid": span.pid,
+            "tid": tid,
+            "args": args,
+        })
+    for (pid, thread), tid in sorted(threads.items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": f"{thread} (pid {pid})"},
+        })
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = {k: _json_safe(v) for k, v in metadata.items()}
+    return doc
+
+
+def write_chrome_trace(path: str, spans: Sequence[Span],
+                       metadata: Optional[Dict[str, Any]] = None) -> int:
+    """Serialize :func:`to_chrome_trace` to ``path``; returns the
+    number of span events written."""
+    doc = to_chrome_trace(spans, metadata=metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return len(spans)
+
+
+# -- prometheus ---------------------------------------------------------------
+
+def _prom_name(key: str) -> "tuple[str, str]":
+    """Split a registry key back into (bare name, label suffix)."""
+    if "{" in key:
+        name, _, rest = key.partition("{")
+        return name, "{" + rest
+    return key, ""
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integral floats print as integers."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _merge_labels(suffix: str, extra: str) -> str:
+    """Append ``extra`` (e.g. ``le="5.0"``) into a ``{...}`` suffix."""
+    if not suffix:
+        return "{" + extra + "}"
+    return suffix[:-1] + "," + extra + "}"
+
+
+def to_prometheus(snapshot: Dict[str, Any]) -> str:
+    """A ``repro-stats/1`` snapshot -> Prometheus text exposition.
+
+    Counters keep their registry names (use a ``_total`` suffix at the
+    publish site per convention), histograms expand to cumulative
+    ``_bucket`` series plus ``_sum``/``_count``. Subsystem dicts
+    (tiling cache, native build, server/fleet tables) flatten to
+    ``repro_subsystem_<section>_<field>`` gauges so one scrape sees the
+    federated state.
+    """
+    lines: List[str] = []
+    typed = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _prom_name(key)
+        header(name, "counter")
+        lines.append(f"{name}{labels} {_fmt(value)}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _prom_name(key)
+        header(name, "gauge")
+        lines.append(f"{name}{labels} {_fmt(value)}")
+    for key, hist in snapshot.get("histograms", {}).items():
+        name, labels = _prom_name(key)
+        header(name, "histogram")
+        for bucket in hist["buckets"]:
+            le = bucket["le"]
+            le_s = "+Inf" if le == "+Inf" else repr(float(le))
+            le_label = 'le="' + le_s + '"'
+            lines.append(f"{name}_bucket{_merge_labels(labels, le_label)} "
+                         f"{bucket['count']}")
+        lines.append(f"{name}_sum{labels} {_fmt(hist['sum'])}")
+        lines.append(f"{name}_count{labels} {hist['count']}")
+
+    for section, stats in (snapshot.get("subsystems") or {}).items():
+        if not isinstance(stats, dict):
+            continue
+        for field, value in _flatten(stats):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            name = _sanitize(f"repro_subsystem_{section}_{field}")
+            header(name, "gauge")
+            lines.append(f"{name} {_fmt(float(value))}")
+    return "\n".join(lines) + "\n"
+
+
+def _flatten(stats: Dict[str, Any], prefix: str = ""):
+    for key, value in stats.items():
+        path = f"{prefix}_{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            yield from _flatten(value, path)
+        else:
+            yield path, value
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)

@@ -1,0 +1,146 @@
+"""Model-fidelity report: measured host wall time vs the analytic model.
+
+The simulator's cycle model is *analytic* — every step's cost is a
+closed-form function of (spec, tiling, accelerator params), never of
+the data. This module produces the first empirical cross-check: run a
+compiled model with per-step tracing enabled, then put each step's
+**measured** host wall-clock next to its **modeled** DIANA latency
+(:func:`repro.soc.latency_ms` over the step's cycles).
+
+The two columns measure different machines — the host interpreting the
+simulation vs the modeled accelerator — so the per-step ``ratio``
+(measured / modeled) is **not** expected to be 1.0. What the report
+checks is *proportionality*: if the cost model is faithful, steps the
+model calls expensive should also dominate host wall time, and the
+per-step ratios should cluster for one exec_mode. A step whose ratio
+is a far outlier is where model and implementation disagree — exactly
+the per-layer signal ROADMAP items 1-2 (native conv speed,
+latency-aware shedding) need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .trace import Span, Tracer, collect
+
+__all__ = ["fidelity_from_spans", "profile_model", "format_fidelity"]
+
+#: span name the executor's per-step instrumentation uses.
+STEP_SPAN = "exec.step"
+
+
+def fidelity_from_spans(spans: Sequence[Span], params=None,
+                        model: str = "", exec_mode: str = "",
+                        ) -> Dict[str, Any]:
+    """Build a ``repro-fidelity/1`` report from traced executor spans.
+
+    Aggregates every ``exec.step`` span by step name; the measured
+    wall time per step is the *minimum* over runs (the least-noise
+    estimate of the step's cost on this host). ``params`` converts the
+    modeled cycles to milliseconds (defaults to the stock DIANA
+    parameters).
+    """
+    from ..soc import latency_ms
+
+    by_step: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for span in spans:
+        if span.name != STEP_SPAN:
+            continue
+        step = str(span.attrs.get("step", "?"))
+        row = by_step.get(step)
+        if row is None:
+            row = by_step[step] = {
+                "step": step,
+                "target": span.attrs.get("target", "?"),
+                "exec_mode": span.attrs.get("exec_mode", exec_mode),
+                "measured_ms": span.duration_ms,
+                "modeled_cycles": float(
+                    span.attrs.get("modeled_cycles", 0.0)),
+                "samples": 1,
+            }
+            order.append(step)
+        else:
+            row["measured_ms"] = min(row["measured_ms"], span.duration_ms)
+            row["samples"] += 1
+
+    rows: List[Dict[str, Any]] = []
+    for step in order:
+        row = by_step[step]
+        modeled_ms = (latency_ms(row["modeled_cycles"], params)
+                      if params is not None
+                      else latency_ms(row["modeled_cycles"]))
+        rows.append({
+            "step": row["step"],
+            "target": row["target"],
+            "exec_mode": row["exec_mode"],
+            "measured_ms": round(row["measured_ms"], 4),
+            "modeled_ms": round(modeled_ms, 4),
+            "ratio": (round(row["measured_ms"] / modeled_ms, 3)
+                      if modeled_ms > 0 else None),
+            "samples": row["samples"],
+        })
+    total_measured = sum(r["measured_ms"] for r in rows)
+    total_modeled = sum(r["modeled_ms"] for r in rows)
+    return {
+        "schema": "repro-fidelity/1",
+        "model": model,
+        "exec_mode": exec_mode,
+        "steps": len(rows),
+        "rows": rows,
+        "total_measured_ms": round(total_measured, 4),
+        "total_modeled_ms": round(total_modeled, 4),
+        "ratio": (round(total_measured / total_modeled, 3)
+                  if total_modeled > 0 else None),
+    }
+
+
+def profile_model(model, soc, exec_mode: str = "fast", runs: int = 3,
+                  seed: int = 0, feeds: Optional[Dict[str, Any]] = None,
+                  ) -> Dict[str, Any]:
+    """Run ``model`` ``runs`` times under a fresh tracer and return the
+    fidelity report (plus the raw spans under ``"spans"``, for callers
+    that also want the trace)."""
+    from ..runtime import Executor, random_inputs
+
+    if feeds is None:
+        feeds = random_inputs(model.graph, seed=seed)
+    executor = Executor(soc, exec_mode=exec_mode)
+    tracer: Tracer
+    with collect() as tracer:
+        for _ in range(max(runs, 1)):
+            with tracer.span("exec.run", category="exec",
+                             model=model.name, exec_mode=exec_mode):
+                executor.run(model, feeds)
+    spans = tracer.drain()
+    report = fidelity_from_spans(spans, params=soc.params,
+                                 model=model.name, exec_mode=exec_mode)
+    report["runs"] = max(runs, 1)
+    report["spans"] = spans
+    return report
+
+
+def format_fidelity(report: Dict[str, Any]) -> str:
+    """The per-step measured-vs-modeled table the CLI prints."""
+    from ..mapping import format_columns
+
+    headers = ["step", "target", "mode", "measured ms", "modeled ms",
+               "ratio"]
+    table_rows = []
+    for r in report["rows"]:
+        table_rows.append([
+            r["step"], str(r["target"]), str(r["exec_mode"]),
+            f"{r['measured_ms']:.3f}", f"{r['modeled_ms']:.3f}",
+            "-" if r["ratio"] is None else f"{r['ratio']:.2f}",
+        ])
+    table_rows.append([
+        "TOTAL", "", report.get("exec_mode", ""),
+        f"{report['total_measured_ms']:.3f}",
+        f"{report['total_modeled_ms']:.3f}",
+        "-" if report["ratio"] is None else f"{report['ratio']:.2f}",
+    ])
+    head = (f"model fidelity: {report.get('model', '?')} "
+            f"(measured host wall vs modeled DIANA latency; "
+            f"ratio is a proportionality check, not 1.0)")
+    return head + "\n" + format_columns(headers, table_rows)

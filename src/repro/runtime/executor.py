@@ -51,6 +51,7 @@ from ..dory.layer_spec import LayerSpec
 from ..dory.tiling_types import Tile, TilingSolution
 from ..errors import SimulationError
 from ..extensions.depthfirst import _backward_ranges, _needed_input_range
+from ..obs.trace import get_tracer, now_ns
 from ..soc.perf import PerfCounters
 from .. import numerics as K
 from .cost import accumulate_accel_cost, accumulate_depthfirst_cost
@@ -340,6 +341,11 @@ class Executor:
 
     def _execute(self, model: CompiledModel, feeds: Dict[str, np.ndarray],
                  batch: Optional[int]):
+        # the whole per-step tracing cost when disabled is this one
+        # global read plus one `is not None` branch per step — the
+        # guard benchmarks/bench_obs.py gates at <= 2% of fast-mode
+        # inference wall-clock
+        tracer = get_tracer()
         perf = PerfCounters()
         values: Dict[str, np.ndarray] = {}
         l2 = self.soc.fresh_l2()
@@ -374,32 +380,56 @@ class Executor:
         if self.exec_mode == "native":
             native = self._native_module(model)
             if native is not None and native.has_full_run and not chains:
+                t0 = now_ns() if tracer is not None else 0
                 full = self._native_full(model, values, batch, native)
                 if full is not None:
                     # accounting replays the analytic per-step costs so
                     # perf/l2 match the interpreted modes byte for byte
                     l2_peak = max(l2_peak, self._account_steps(
                         model, perf, l2, arena_base, last_use))
+                    if tracer is not None:
+                        tracer.record(
+                            "exec.native_full", t0, category="exec",
+                            model=model.name, exec_mode=self.exec_mode,
+                            steps=len(model.steps),
+                            modeled_cycles=perf.total_cycles)
                     return full, perf, l2_peak
         idx = 0
         while idx < len(model.steps):
             chain = chains.get(idx)
             if chain is not None:
+                if tracer is not None:
+                    t0, n_rec = now_ns(), len(perf.records)
                 l2_peak = max(l2_peak, self._run_chain(
                     model, chain, values, perf, l2, arena_base, last_use))
+                if tracer is not None:
+                    tracer.record(
+                        "exec.chain", t0, category="exec",
+                        start=chain.start, length=chain.length,
+                        exec_mode=self.exec_mode,
+                        modeled_cycles=sum(r.total_cycles for r
+                                           in perf.records[n_rec:]))
                 idx = chain.stop
                 continue
             step = model.steps[idx]
             self._place(l2, model, step.output_name, arena_base)
             l2_peak = max(l2_peak, l2.high_water)
             args = [values[n] for n in step.input_names]
+            t0 = now_ns() if tracer is not None else 0
             if isinstance(step, CpuKernelStep):
                 values[step.output_name] = self._run_cpu(step, args, perf)
+                target = "cpu"
             elif isinstance(step, AccelStep):
                 values[step.output_name] = self._run_accel(
                     step, args, perf, idx=idx, native=native)
+                target = step.accel_target
             else:
                 raise SimulationError(f"unknown step {step!r}")
+            if tracer is not None:
+                tracer.record(
+                    "exec.step", t0, category="exec", step=step.name,
+                    target=target, exec_mode=self.exec_mode,
+                    modeled_cycles=perf.records[-1].total_cycles)
             for name in step.input_names:
                 if last_use.get(name) == idx and name != model.output_name:
                     l2.free(name)

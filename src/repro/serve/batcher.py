@@ -19,6 +19,7 @@ unaffected by how requests were coalesced.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -28,6 +29,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import ServingError, ServingTimeoutError
+from ..obs.metrics import get_registry
+from ..obs.trace import trace_span
 
 #: sentinel enqueued by :meth:`DynamicBatcher.stop`.
 _STOP = object()
@@ -71,6 +74,8 @@ class InferenceFuture:
         self._t_create = time.monotonic()
         #: registry key / batcher name this request was bound for
         self.model = model
+        #: client-visible request identifier (``<model>#<seq>``)
+        self.request_id = ""
         #: filled by the batcher: wall seconds spent queued + executing
         self.wall_s: Optional[float] = None
         #: modeled cycles of the inference (input-independent)
@@ -185,6 +190,7 @@ class DynamicBatcher:
         # SimpleQueue: C-implemented put/get, no task-tracking locks —
         # the queue is traversed twice per request on the serving path
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._rid_seq = itertools.count(1)
         self._stats = BatcherStats()
         self._stats_lock = threading.Lock()
         # serializes the stopping-flag check against the enqueue: a
@@ -211,11 +217,19 @@ class DynamicBatcher:
         check and the enqueue are atomic w.r.t. the stop sentinel, so
         an accepted request is always ahead of it and gets drained.
         """
-        normalized = normalize_feeds(self.compiled, feeds, self.name)
+        rid = f"{self.name}#{next(self._rid_seq):06d}"
+        try:
+            normalized = normalize_feeds(self.compiled, feeds, self.name)
+        except ServingError as exc:
+            raise ServingError(f"{exc} [request {rid}]", code=exc.code,
+                               request_id=rid) from None
         fut = InferenceFuture(model=self.name)
+        fut.request_id = rid
         with self._submit_lock:
             if self._stopping:
-                raise ServingError(f"{self.name}: batcher is shut down")
+                raise ServingError(
+                    f"{self.name}: batcher is shut down [request {rid}]",
+                    code="S-SHUTDOWN", request_id=rid)
             self._pending += 1
             self._queue.put(_Request(normalized, fut, time.monotonic()))
         return fut
@@ -321,17 +335,23 @@ class DynamicBatcher:
             self._run_batch(leftovers[i:i + self.max_batch_size])
 
     def _run_batch(self, batch: List[_Request]):
+        reg = get_registry()
         t0 = time.monotonic()
         try:
             feeds = {
                 name: np.concatenate([r.feeds[name] for r in batch], axis=0)
                 for name in self.compiled.input_names
             }
-            result = self.executor.run_batch(self.compiled, feeds)
+            with trace_span("batch.execute", category="serve",
+                            model=self.name, batch_size=len(batch)):
+                result = self.executor.run_batch(self.compiled, feeds)
         except BaseException as exc:  # resolve futures, keep serving
             with self._stats_lock:
                 self._stats.errors += len(batch)
                 self._stats.batches += 1
+            reg.counter("batcher_errors_total", model=self.name).inc(
+                len(batch))
+            reg.counter("batcher_batches_total", model=self.name).inc()
             for r in batch:
                 r.future._fail(exc)
             with self._submit_lock:
@@ -353,6 +373,12 @@ class DynamicBatcher:
                 wall = t1 - r.t_enqueue
                 s.wall_s_total += wall
                 s.wall_s_max = max(s.wall_s_max, wall)
+        reg.counter("batcher_requests_total", model=self.name).inc(
+            len(batch))
+        reg.counter("batcher_batches_total", model=self.name).inc()
+        hist = reg.histogram("batcher_wall_ms", model=self.name)
+        for r in batch:
+            hist.observe((t1 - r.t_enqueue) * 1e3)
         for i, r in enumerate(batch):
             r.future.wall_s = t1 - r.t_enqueue
             r.future.cycles = cycles

@@ -67,6 +67,8 @@ from ..errors import (
     ServingOverloadError, ServingTimeoutError, ServingUnavailableError,
     WorkerCrashError,
 )
+from ..obs.metrics import get_registry
+from ..obs.trace import Span, collect, get_tracer
 from .faults import FaultInjector, FaultPlan
 from .resilience import CircuitBreaker, CrashLoopBackoff, RetryPolicy
 
@@ -149,7 +151,11 @@ def _worker_main(conn, key: str, worker_index: int, gen: int,
             continue
         if kind != "req":
             continue
-        _, req_id, feeds, budget_s = msg
+        # ctx is the front door's TraceContext (or None when tracing
+        # is off): the worker parents its execution spans under it and
+        # ships them back in the reply, so one request id stitches
+        # admission, queue wait, and in-worker execution into one tree
+        _, req_id, feeds, budget_s, ctx = msg
         n_requests += 1
         if faults.fires("oom_crash") is not None:
             os._exit(OOM_EXIT_CODE)
@@ -160,30 +166,49 @@ def _worker_main(conn, key: str, worker_index: int, gen: int,
             time.sleep(rule.param if rule.param is not None else 60.0)
         if budget_s is not None and budget_s <= 0:
             conn.send(("err", req_id, "S-TIMEOUT",
-                       "deadline expired before execution"))
+                       "deadline expired before execution", []))
             continue
+        spans: list = []
         try:
             if faults.fires("exec_error") is not None:
                 raise ServingExecutionError("injected execution fault",
                                             model=key)
-            normalized = normalize_feeds(art.model, feeds, name=key)
-            t0 = time.monotonic()
-            result = executor.run(art.model, normalized)
+            if ctx is None:
+                normalized = normalize_feeds(art.model, feeds, name=key)
+                t0 = time.monotonic()
+                result = executor.run(art.model, normalized)
+                exec_s = time.monotonic() - t0
+            else:
+                # fresh per-request tracer: the executor's per-step
+                # spans land here, parented under the caller's context
+                with collect(ctx) as wtracer:
+                    try:
+                        with wtracer.span(
+                                "worker.execute", category="serve",
+                                request_id=ctx.request_id,
+                                deployment=key, worker=worker_index,
+                                gen=gen, exec_mode=executor.exec_mode):
+                            normalized = normalize_feeds(art.model, feeds,
+                                                         name=key)
+                            t0 = time.monotonic()
+                            result = executor.run(art.model, normalized)
+                            exec_s = time.monotonic() - t0
+                    finally:
+                        spans = wtracer.drain()
             conn.send(("ok", req_id, result.output,
-                       float(result.perf.total_cycles),
-                       time.monotonic() - t0))
+                       float(result.perf.total_cycles), exec_s, spans))
         except (MemoryError, OutOfMemoryError) as exc:
             # report, then die the OOM death so the supervisor can
             # count it toward the exec-mode fallback
             try:
                 conn.send(("err", req_id, "S-OOM",
-                           f"{type(exc).__name__}: {exc}"))
+                           f"{type(exc).__name__}: {exc}", spans))
             finally:
                 os._exit(OOM_EXIT_CODE)
         except BaseException as exc:  # noqa: B036, BLE001 — typed to parent
             code = getattr(exc, "code", None) or "S-EXEC"
             conn.send(("err", req_id, code,
-                       f"{type(exc).__name__}: {exc}"))
+                       f"{type(exc).__name__}: {exc}", spans))
 
 
 # ---------------------------------------------------------------------------
@@ -248,6 +273,13 @@ class FleetFuture:
         self._t_create = time.monotonic()
         #: deployment key this request was admitted for
         self.model = model
+        #: client-visible request identifier (``<deployment>#<seq>``);
+        #: the same id appears in error messages, trace spans, and
+        #: loadgen's per-code ledger
+        self.request_id = ""
+        #: root trace span of this request (None when tracing is off);
+        #: finished by the pump when the future settles
+        self._trace_span: Optional[Span] = None
         #: dispatch attempts consumed (>1 means the request was retried)
         self.attempts = 0
         #: modeled cycles of the inference (set on success)
@@ -298,12 +330,15 @@ class FleetFuture:
 @dataclass
 class _Request:
     req_id: int
+    request_id: str              #: client-visible "<deployment>#<seq>"
     feeds: Dict[str, Any]
     future: FleetFuture
     priority: int
     deadline: Optional[float]    #: absolute time.monotonic()
     t_submit: float
     attempts: int = 0
+    #: root span (tracing enabled only); its context crosses the pipe
+    span: Optional[Span] = None
 
 
 class _WorkerHandle:
@@ -343,7 +378,8 @@ class _Deployment:
         self.breaker = CircuitBreaker(
             failure_threshold=cfg.breaker_failures,
             recovery_s=cfg.breaker_recovery_s,
-            half_open_probes=cfg.breaker_probes, name=key)
+            half_open_probes=cfg.breaker_probes, name=key,
+            on_transition=self._on_breaker_transition)
         self.pending: List[Tuple[int, int, _Request]] = []  # (-prio, seq, r)
         self.delayed: List[Tuple[float, _Request]] = []     # (due, r)
         self.seq = itertools.count()
@@ -358,6 +394,30 @@ class _Deployment:
             "rejected": 0, "shed": 0, "expired": 0, "timeouts": 0,
             "restarts": 0, "fallbacks": 0, "degraded": 0,
         }
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Increment a local counter and its metrics-registry twin
+        (``fleet_<name>_total{deployment=...}``), so ``repro stats``
+        and a Prometheus scrape see the same numbers as
+        :meth:`ServingFleet.stats`."""
+        self.counters[name] += n
+        get_registry().counter(f"fleet_{name}_total",
+                               deployment=self.key).inc(n)
+
+    def _on_breaker_transition(self, frm: str, to: str) -> None:
+        # fires under the breaker lock — publish and return, no
+        # re-entry into the breaker
+        reg = get_registry()
+        reg.counter("fleet_breaker_transitions_total",
+                    deployment=self.key).inc()
+        reg.event("breaker_transition", deployment=self.key,
+                  frm=frm, to=to)
+
+
+def _tag(error: ServingError, request_id: str) -> ServingError:
+    """Stamp the client-visible request id onto a serving error."""
+    error.request_id = request_id
+    return error
 
 
 # ---------------------------------------------------------------------------
@@ -489,45 +549,60 @@ class ServingFleet:
                 raise ServingError(
                     f"unknown deployment {key!r}; registered: "
                     f"{sorted(self._deployments) or 'none'}")
+            # the id is minted before admission checks so even a
+            # rejected request is traceable by its client-visible id
+            req_id = next(self._req_seq)
+            rid = f"{dep.key}#{req_id:06d}"
             if dep.failed is not None:
-                raise ServingUnavailableError(
-                    f"{key}: deployment failed terminally: {dep.failed}",
-                    model=key, terminal=True)
+                raise _tag(ServingUnavailableError(
+                    f"{key}: deployment failed terminally: {dep.failed} "
+                    f"[request {rid}]", model=key, terminal=True), rid)
             if dep.admission_faults is not None \
                     and dep.admission_faults.fires("queue_full") is not None:
-                dep.counters["rejected"] += 1
-                raise ServingOverloadError(
-                    f"{key}: queue full (injected fault)",
-                    retry_after=self._retry_after_hint(dep), model=key)
+                dep.bump("rejected")
+                raise _tag(ServingOverloadError(
+                    f"{key}: queue full (injected fault) [request {rid}]",
+                    retry_after=self._retry_after_hint(dep), model=key), rid)
             if dep.breaker.blocked():
-                raise ServingUnavailableError(
-                    f"{key}: circuit breaker open",
-                    retry_after=dep.breaker.retry_after(), model=key)
+                raise _tag(ServingUnavailableError(
+                    f"{key}: circuit breaker open [request {rid}]",
+                    retry_after=dep.breaker.retry_after(), model=key), rid)
             if dep.admitted >= cfg.queue_limit:
-                dep.counters["rejected"] += 1
-                raise ServingOverloadError(
+                dep.bump("rejected")
+                raise _tag(ServingOverloadError(
                     f"{key}: queue depth {dep.admitted} at limit "
-                    f"{cfg.queue_limit}",
-                    retry_after=self._retry_after_hint(dep), model=key)
+                    f"{cfg.queue_limit} [request {rid}]",
+                    retry_after=self._retry_after_hint(dep), model=key), rid)
             if (dep.admitted >= cfg.shed_watermark
                     and priority < cfg.shed_priority_floor):
-                dep.counters["shed"] += 1
-                raise ServingOverloadError(
+                dep.bump("shed")
+                raise _tag(ServingOverloadError(
                     f"{key}: shedding priority {priority} request at "
                     f"depth {dep.admitted} (watermark "
-                    f"{cfg.shed_watermark})",
+                    f"{cfg.shed_watermark}) [request {rid}]",
                     retry_after=self._retry_after_hint(dep), model=key,
-                    shed=True)
+                    shed=True), rid)
             if deadline_s == -1.0:
                 deadline_s = cfg.default_deadline_s
             fut = FleetFuture(dep.key)
+            fut.request_id = rid
+            span = None
+            tracer = get_tracer()
+            if tracer is not None:
+                # root of the request's tree; finished by the pump when
+                # the future settles (possibly on another thread, hence
+                # begin() rather than the stacking context manager)
+                span = tracer.begin(
+                    "fleet.request", category="serve", request_id=rid,
+                    deployment=dep.key, priority=priority)
+                fut._trace_span = span
             req = _Request(
-                req_id=next(self._req_seq), feeds=feeds, future=fut,
-                priority=priority,
+                req_id=req_id, request_id=rid, feeds=feeds,
+                future=fut, priority=priority,
                 deadline=None if deadline_s is None else now + deadline_s,
-                t_submit=now)
+                t_submit=now, span=span)
             dep.admitted += 1
-            dep.counters["accepted"] += 1
+            dep.bump("accepted")
             heapq.heappush(dep.pending, (-priority, next(dep.seq), req))
         self._wake()
         return fut
@@ -591,9 +666,13 @@ class ServingFleet:
                     "failed_reason": dep.failed,
                     "breaker_state": dep.breaker.state,
                     "breaker_transitions": list(dep.breaker.transitions),
+                    "breaker_trips": sum(
+                        1 for _, to in dep.breaker.transitions
+                        if to == "open"),
                     "workers": [
                         {"index": w.index, "state": w.state, "gen": w.gen,
-                         "restarts": w.restarts, "exec_mode": w.exec_mode}
+                         "restarts": w.restarts, "exec_mode": w.exec_mode,
+                         "backoff_streak": w.backoff.streak}
                         for w in dep.workers],
                 }
             return out
@@ -603,7 +682,8 @@ class ServingFleet:
         from ..mapping import format_columns
 
         headers = ["deployment", "acc", "done", "fail", "retry", "shed+rej",
-                   "queue", "workers", "restarts", "breaker", "mode"]
+                   "queue", "workers", "restarts", "breaker", "trips",
+                   "mode"]
         rows = []
         for key, s in self.stats().items():
             alive = sum(1 for w in s["workers"]
@@ -613,7 +693,8 @@ class ServingFleet:
                 str(s["failed"]), str(s["retried"]),
                 f"{s['shed']}+{s['rejected']}", str(s["queue_depth"]),
                 f"{alive}/{len(s['workers'])}", str(s["restarts"]),
-                s["breaker_state"], s["exec_mode"],
+                s["breaker_state"], str(s["breaker_trips"]),
+                s["exec_mode"],
             ])
         return format_columns(headers, rows)
 
@@ -661,8 +742,26 @@ class ServingFleet:
                 self._start_due_workers(now)
                 self._dispatch(now, settled)
             for fut, output, error in settled:
+                self._finalize(fut, error)
                 fut._settle(output, error)
         # pump exits only at shutdown; remaining state is handled there
+
+    def _finalize(self, fut: FleetFuture,
+                  error: Optional[BaseException]) -> None:
+        """Metrics + root-span close for one settling request (called
+        just before the future resolves, off the fleet lock)."""
+        wall_s = time.monotonic() - fut._t_create
+        get_registry().histogram(
+            "fleet_request_ms", deployment=fut.model,
+            outcome="ok" if error is None else "error",
+        ).observe(wall_s * 1e3)
+        span, fut._trace_span = fut._trace_span, None
+        if span is not None:
+            tracer = get_tracer()
+            if tracer is not None:
+                status = ("ok" if error is None
+                          else getattr(error, "code", None) or "error")
+                tracer.finish(span, status=status, attempts=fut.attempts)
 
     # every helper below runs on the pump thread with self._lock held;
     # futures are settled after the lock drops (via the `settled` list)
@@ -686,7 +785,10 @@ class ServingFleet:
             elif kind == "degraded":
                 # worker-side graceful degradation (e.g. S-NATIVE: no
                 # toolchain); the worker still serves, just not natively
-                dep.counters["degraded"] += 1
+                dep.bump("degraded")
+                get_registry().event("worker_degraded", deployment=dep.key,
+                                     worker=worker.index, code=msg[1],
+                                     reason=msg[2])
             elif kind == "pong":
                 pass
             elif kind == "load_error":
@@ -699,32 +801,42 @@ class ServingFleet:
                 worker.inflight = None
                 if worker.state == "busy":
                     worker.state = "ready"
+                # spans the worker collected while executing (empty
+                # when tracing was off at dispatch) rejoin the front
+                # door's trace here
+                spans = msg[-1]
+                tracer = get_tracer()
+                if tracer is not None and spans:
+                    tracer.adopt(spans)
                 if kind == "ok":
-                    _, _, output, cycles, exec_s = msg
+                    _, _, output, cycles, exec_s, _ = msg
                     dep.admitted -= 1
-                    dep.counters["completed"] += 1
+                    dep.bump("completed")
                     dep.breaker.record_success()
                     dep.ema_exec_s = 0.8 * dep.ema_exec_s + 0.2 * exec_s
                     req.future.attempts = req.attempts
                     req.future.cycles = cycles
                     settled.append((req.future, output, None))
                 else:
-                    _, _, code, text = msg
+                    _, _, code, text, _ = msg
                     dep.breaker.record_failure()
-                    error = self._error_from_code(dep, code, text)
+                    error = self._error_from_code(dep, code, text,
+                                                  req.request_id)
                     self._retry_or_fail(dep, req, error, now, settled)
 
-    def _error_from_code(self, dep: _Deployment, code: str,
-                         text: str) -> ServingError:
+    def _error_from_code(self, dep: _Deployment, code: str, text: str,
+                         rid: str) -> ServingError:
         if code == "S-TIMEOUT":
-            return ServingTimeoutError(f"{dep.key}: {text}", model=dep.key)
+            return _tag(ServingTimeoutError(
+                f"{dep.key}: {text} [request {rid}]", model=dep.key), rid)
         if code == "S-OOM":
             exc = WorkerCrashError(f"{dep.key}: worker out of memory: "
-                                   f"{text}", model=dep.key)
+                                   f"{text} [request {rid}]", model=dep.key)
             exc.code = "S-OOM"
-            return exc
-        return ServingExecutionError(f"{dep.key}: {text}", model=dep.key,
-                                     code=code)
+            return _tag(exc, rid)
+        return _tag(ServingExecutionError(
+            f"{dep.key}: {text} [request {rid}]", model=dep.key,
+            code=code), rid)
 
     def _on_load_error(self, dep: _Deployment, worker: _WorkerHandle,
                        reason: str, settled: List) -> None:
@@ -732,22 +844,31 @@ class ServingFleet:
         self._close_worker(worker)
         if all(w.state == "failed_load" for w in dep.workers):
             dep.failed = reason
-            error = ServingUnavailableError(
-                f"{dep.key}: deployment failed terminally: {reason}",
-                model=dep.key, terminal=True)
-            self._fail_all_queued(dep, error, settled)
+            get_registry().event("deployment_failed", deployment=dep.key,
+                                 reason=reason)
 
-    def _fail_all_queued(self, dep: _Deployment, error: ServingError,
+            def make_error(rid: str) -> ServingError:
+                return _tag(ServingUnavailableError(
+                    f"{dep.key}: deployment failed terminally: {reason} "
+                    f"[request {rid}]", model=dep.key, terminal=True), rid)
+
+            self._fail_all_queued(dep, make_error, settled)
+
+    def _fail_all_queued(self, dep: _Deployment,
+                         make_error: Callable[[str], ServingError],
                          settled: List) -> None:
+        """Fail every queued request, each with its own error instance
+        so the per-request id survives into the message the client
+        sees."""
         for _, _, req in dep.pending:
             dep.admitted -= 1
-            dep.counters["failed"] += 1
-            settled.append((req.future, None, error))
+            dep.bump("failed")
+            settled.append((req.future, None, make_error(req.request_id)))
         dep.pending.clear()
         for _, req in dep.delayed:
             dep.admitted -= 1
-            dep.counters["failed"] += 1
-            settled.append((req.future, None, error))
+            dep.bump("failed")
+            settled.append((req.future, None, make_error(req.request_id)))
         dep.delayed.clear()
 
     def _check_liveness(self, now: float, settled: List) -> None:
@@ -775,10 +896,11 @@ class ServingFleet:
         req, worker.inflight = worker.inflight, None
         if req is not None:
             dep.breaker.record_failure()
-            error = WorkerCrashError(
+            error = _tag(WorkerCrashError(
                 f"{dep.key}: worker {worker.index} died "
-                f"({reason}, exit code {exitcode}) holding the request",
-                model=dep.key, worker=worker.index)
+                f"({reason}, exit code {exitcode}) holding request "
+                f"{req.request_id}",
+                model=dep.key, worker=worker.index), req.request_id)
             if exitcode == OOM_EXIT_CODE:
                 error.code = "S-OOM"
             self._retry_or_fail(dep, req, error, now, settled)
@@ -796,8 +918,12 @@ class ServingFleet:
         if (cfg.fallback_exec_mode
                 and dep.exec_mode != cfg.fallback_exec_mode
                 and dep.oom_deaths >= cfg.oom_fallback_after):
+            prev_mode = dep.exec_mode
             dep.exec_mode = cfg.fallback_exec_mode
-            dep.counters["fallbacks"] += 1
+            dep.bump("fallbacks")
+            get_registry().event("exec_mode_fallback", deployment=dep.key,
+                                 frm=prev_mode, to=dep.exec_mode,
+                                 oom_deaths=dep.oom_deaths)
             # restart the survivors into the smaller-arena mode too:
             # they would otherwise keep OOMing on the old mode
             for w in dep.workers:
@@ -828,18 +954,22 @@ class ServingFleet:
                 dep.breaker.record_failure()
                 if req.deadline is not None and now >= req.deadline:
                     dep.admitted -= 1
-                    dep.counters["failed"] += 1
-                    dep.counters["timeouts"] += 1
+                    dep.bump("failed")
+                    dep.bump("timeouts")
                     elapsed = now - req.t_submit
-                    settled.append((req.future, None, ServingTimeoutError(
-                        f"{dep.key}: request missed its deadline after "
-                        f"{elapsed:.3f}s (worker {worker.index} hung and "
-                        f"was killed)", model=dep.key, elapsed_s=elapsed)))
+                    settled.append((req.future, None, _tag(
+                        ServingTimeoutError(
+                            f"{dep.key}: request {req.request_id} missed "
+                            f"its deadline after {elapsed:.3f}s (worker "
+                            f"{worker.index} hung and was killed)",
+                            model=dep.key, elapsed_s=elapsed),
+                        req.request_id)))
                 else:
-                    self._retry_or_fail(dep, req, WorkerCrashError(
+                    self._retry_or_fail(dep, req, _tag(WorkerCrashError(
                         f"{dep.key}: worker {worker.index} hung past "
-                        f"hang_timeout and was killed", model=dep.key,
-                        worker=worker.index), now, settled)
+                        f"hang_timeout and was killed holding request "
+                        f"{req.request_id}", model=dep.key,
+                        worker=worker.index), req.request_id), now, settled)
                 self._close_worker(worker)
                 worker.state = "down"
                 worker.next_start_at = now + worker.backoff.next_delay_s()
@@ -855,14 +985,15 @@ class ServingFleet:
                 req = entry[2]
                 if req.deadline is not None and now >= req.deadline:
                     dep.admitted -= 1
-                    dep.counters["failed"] += 1
-                    dep.counters["expired"] += 1
-                    dep.counters["timeouts"] += 1
+                    dep.bump("failed")
+                    dep.bump("expired")
+                    dep.bump("timeouts")
                     elapsed = now - req.t_submit
-                    settled.append((req.future, None, ServingTimeoutError(
-                        f"{dep.key}: request expired in queue after "
-                        f"{elapsed:.3f}s", model=dep.key,
-                        elapsed_s=elapsed)))
+                    settled.append((req.future, None, _tag(
+                        ServingTimeoutError(
+                            f"{dep.key}: request {req.request_id} expired "
+                            f"in queue after {elapsed:.3f}s", model=dep.key,
+                            elapsed_s=elapsed), req.request_id)))
                 else:
                     keep.append(entry)
             if len(keep) != len(dep.pending):
@@ -887,13 +1018,15 @@ class ServingFleet:
         if retryable and cfg.retry.allows(req.attempts):
             delay = cfg.retry.delay_s(req.attempts, self._rng)
             if req.deadline is None or now + delay < req.deadline:
-                dep.counters["retried"] += 1
+                dep.bump("retried")
                 dep.delayed.append((now + delay, req))
                 return
         dep.admitted -= 1
-        dep.counters["failed"] += 1
+        dep.bump("failed")
         if isinstance(error, ServingTimeoutError):
-            dep.counters["timeouts"] += 1
+            dep.bump("timeouts")
+        if error.request_id is None:
+            _tag(error, req.request_id)
         req.future.attempts = req.attempts
         settled.append((req.future, None, error))
 
@@ -909,7 +1042,11 @@ class ServingFleet:
                 worker.gen += 1
                 if worker.gen > 0:
                     worker.restarts += 1
-                    dep.counters["restarts"] += 1
+                    dep.bump("restarts")
+                    get_registry().event(
+                        "worker_restart", deployment=dep.key,
+                        worker=worker.index, gen=worker.gen,
+                        backoff_streak=worker.backoff.streak)
                 parent_conn, child_conn = self._ctx.Pipe()
                 proc = self._ctx.Process(
                     target=_worker_main,
@@ -939,9 +1076,25 @@ class ServingFleet:
                 worker.state = "busy"
                 budget = (None if req.deadline is None
                           else req.deadline - now)
+                ctx = None
+                if req.span is not None:
+                    tracer = get_tracer()
+                    if tracer is not None:
+                        if req.attempts == 1:
+                            # admission -> first dispatch, as a closed
+                            # interval under the request's root span
+                            # (t_submit is time.monotonic() seconds —
+                            # the same clock now_ns() reads)
+                            tracer.record(
+                                "fleet.queue_wait",
+                                int(req.t_submit * 1e9), category="serve",
+                                parent=req.span,
+                                request_id=req.request_id,
+                                deployment=dep.key)
+                        ctx = req.span.context()
                 try:
                     worker.conn.send(
-                        ("req", req.req_id, req.feeds, budget))
+                        ("req", req.req_id, req.feeds, budget, ctx))
                 except (OSError, ValueError):
                     # dead pipe: the liveness check will retry/fail the
                     # in-flight request and schedule the restart
@@ -992,16 +1145,20 @@ class ServingFleet:
         settled: List = []
         with self._lock:
             for dep in self._deployments.values():
-                error = ServingError(
-                    f"{dep.key}: fleet shut down before the request "
-                    f"resolved", code="S-SHUTDOWN")
-                self._fail_all_queued(dep, error, settled)
+                def make_error(rid: str,
+                               _key: str = dep.key) -> ServingError:
+                    return _tag(ServingError(
+                        f"{_key}: fleet shut down before request {rid} "
+                        f"resolved", code="S-SHUTDOWN"), rid)
+
+                self._fail_all_queued(dep, make_error, settled)
                 for worker in dep.workers:
                     req, worker.inflight = worker.inflight, None
                     if req is not None:
                         dep.admitted -= 1
-                        dep.counters["failed"] += 1
-                        settled.append((req.future, None, error))
+                        dep.bump("failed")
+                        settled.append((req.future, None,
+                                        make_error(req.request_id)))
                     if worker.conn is not None:
                         try:
                             worker.conn.send(("stop",))
@@ -1010,6 +1167,7 @@ class ServingFleet:
             procs = [(w.proc, w) for dep in self._deployments.values()
                      for w in dep.workers if w.proc is not None]
         for fut, output, error in settled:
+            self._finalize(fut, error)
             fut._settle(output, error)
         for proc, worker in procs:
             proc.join(timeout=2.0)

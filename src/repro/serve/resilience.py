@@ -99,13 +99,17 @@ class CircuitBreaker:
     :meth:`allow` *consumes* a probe slot and is meant for the dispatch
     side; :meth:`blocked` is a read-only check for the admission side.
     ``transitions`` keeps an append-only ``(from, to)`` log so tests
-    can assert the exact path taken.
+    can assert the exact path taken, and ``on_transition(frm, to)`` —
+    when given — fires on every state change (the fleet publishes it
+    as a metrics event; the callback runs under the breaker lock, so
+    it must be quick and must not call back into the breaker).
     """
 
     def __init__(self, failure_threshold: int = 5, recovery_s: float = 1.0,
                  half_open_probes: int = 1,
                  clock: Callable[[], float] = time.monotonic,
-                 name: str = ""):
+                 name: str = "",
+                 on_transition: Optional[Callable[[str, str], None]] = None):
         if failure_threshold < 1:
             raise ServingError(
                 f"failure_threshold must be >= 1, got {failure_threshold}")
@@ -123,6 +127,7 @@ class CircuitBreaker:
         self._opened_at: Optional[float] = None
         self._probes_left = 0
         self.transitions: List[Tuple[str, str]] = []
+        self.on_transition = on_transition
 
     # -- state inspection ----------------------------------------------------
 
@@ -149,8 +154,10 @@ class CircuitBreaker:
 
     def _transition(self, to: str):
         if self._state != to:
-            self.transitions.append((self._state, to))
-            self._state = to
+            frm, self._state = self._state, to
+            self.transitions.append((frm, to))
+            if self.on_transition is not None:
+                self.on_transition(frm, to)
 
     def allow(self) -> bool:
         """Dispatch-side gate; consumes a probe slot when half-open."""

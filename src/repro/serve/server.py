@@ -34,6 +34,7 @@ import numpy as np
 
 from ..core.program import CompiledModel
 from ..errors import ServingError
+from ..obs.metrics import get_registry
 from ..runtime import Executor
 from ..soc import latency_ms
 from .artifact import load_artifact
@@ -121,6 +122,9 @@ class InferenceServer:
             self._models[key] = _ServedModel(key, compiled, soc, self.config,
                                              native_cache_dir)
             evict = self._evict_overflow_locked()
+        reg = get_registry()
+        reg.counter("server_models_registered_total").inc()
+        reg.event("model_registered", key=key)
         for served in evict:  # drain outside the lock
             served.batcher.stop(wait=True)
         return key
@@ -148,6 +152,10 @@ class InferenceServer:
             served = self._models.pop(victim)
             self._evicted.append(victim)
             evict.append(served)
+            reg = get_registry()
+            reg.counter("server_models_evicted_total").inc()
+            reg.event("model_evicted", key=victim,
+                      resident=len(self._models))
         return evict
 
     def register_artifact(self, artifact, *args, **kwargs) -> str:

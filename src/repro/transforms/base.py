@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from ..ir import Graph
+from ..obs.trace import trace_span
 
 
 class Pass:
@@ -45,7 +46,9 @@ class PassManager:
         self.trace = []
         for p in self.passes:
             before = len(graph.topo_order())
-            graph = p(graph)
+            with trace_span(f"transform.{p.name}", category="compile",
+                            nodes_before=before):
+                graph = p(graph)
             after = len(graph.topo_order())
             self.trace.append((p.name, before, after))
             if post_hook is not None:
