@@ -1,0 +1,180 @@
+"""Platform-DSE benchmark: grid pricing throughput + thread scaling.
+
+Times ``repro.eval.dse.sweep_grid`` over the default platform x model
+x budget x objective grid — cold (fresh
+:class:`~repro.core.cache.TilingCache`) vs. cache-warm, serial vs.
+``jobs=4`` — and records the numbers to ``BENCH_dse.json`` at the repo
+root together with a drift fingerprint: the per-cell mapping signature
+and modeled cycles of a reduced grid.
+
+``--check`` recomputes the fingerprint and fails if it drifts from the
+committed file — the CI companion to ``repro dse --check`` (which
+gates the full committed ``DSE_GRID.json``).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+from bench_timing import best_of
+from repro.core.cache import TilingCache
+from repro.eval.dse import sweep_grid
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_dse.json"
+REPS = 3
+
+#: the reduced fingerprint grid (fast enough to re-price on --check).
+FP_PLATFORMS = ("diana", "diana-noanalog", "diana-nodig")
+FP_MODELS = ("resnet", "dscnn")
+FP_BUDGETS_KB = (64,)
+FP_OBJECTIVES = ("latency", "energy")
+
+
+class DriftError(AssertionError):
+    """A DSE grid cell (mapping or modeled cycles) changed."""
+
+
+def grid_fingerprint() -> dict:
+    """Per-cell mapping signature + modeled cycles of the reduced grid."""
+    points = sweep_grid(platforms=FP_PLATFORMS, models=FP_MODELS,
+                        budgets_kb=FP_BUDGETS_KB, objectives=FP_OBJECTIVES,
+                        cache=TilingCache())
+    out = {}
+    for p in points:
+        cell = "/".join([p.platform, p.model, str(p.budget_kb), p.objective])
+        out[cell] = {
+            "feasible": p.feasible,
+            "signature": p.signature,
+            "modeled_cycles": p.cycles,
+        }
+    return out
+
+
+#: tight L1 budget for the timing runs — forces a real DORY search per
+#: candidate (64/256 kB solve most layers on the fast path), matching
+#: bench_mapping's scenario; the fingerprint stays on the 64 kB grid.
+TIME_BUDGETS_KB = (16,)
+
+
+def run_bench(reps: int = REPS, write: bool = True) -> dict:
+    def cold():
+        sweep_grid(platforms=FP_PLATFORMS, models=FP_MODELS,
+                   budgets_kb=TIME_BUDGETS_KB, objectives=FP_OBJECTIVES,
+                   cache=TilingCache())
+
+    warm_cache = TilingCache()
+    points = sweep_grid(platforms=FP_PLATFORMS, models=FP_MODELS,
+                        budgets_kb=TIME_BUDGETS_KB, objectives=FP_OBJECTIVES,
+                        cache=warm_cache)
+
+    def warm():
+        sweep_grid(platforms=FP_PLATFORMS, models=FP_MODELS,
+                   budgets_kb=TIME_BUDGETS_KB, objectives=FP_OBJECTIVES,
+                   cache=warm_cache)
+
+    def warm_jobs():
+        sweep_grid(platforms=FP_PLATFORMS, models=FP_MODELS,
+                   budgets_kb=TIME_BUDGETS_KB, objectives=FP_OBJECTIVES,
+                   cache=warm_cache, jobs=4)
+
+    cold_s = best_of(cold, reps)
+    warm_cache.reset_counters()
+    warm_s = best_of(warm, reps)
+    stats = warm_cache.stats()
+    assert stats["misses"] == 0, "warm sweep re-solved tilings"
+    jobs_s = best_of(warm_jobs, reps)
+
+    record = {
+        "platforms": list(FP_PLATFORMS),
+        "models": list(FP_MODELS),
+        "budgets_kb": list(FP_BUDGETS_KB),
+        "timing_budgets_kb": list(TIME_BUDGETS_KB),
+        "objectives": list(FP_OBJECTIVES),
+        "cells": len(points),
+        "reps": reps,
+        "grid_cold_s": cold_s,
+        "grid_warm_s": warm_s,
+        "grid_warm_jobs4_s": jobs_s,
+        "cache_speedup": cold_s / max(warm_s, 1e-12),
+        "grid_fingerprint": grid_fingerprint(),
+    }
+    if write:
+        OUT.write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def check_drift(path: pathlib.Path = OUT) -> None:
+    """Fail if any reduced-grid cell diverges from the committed file."""
+    committed = json.loads(path.read_text())["grid_fingerprint"]
+    current = grid_fingerprint()
+    for cell, base in committed.items():
+        got = current.get(cell)
+        if got is None:
+            raise DriftError(f"{cell}: missing from current grid")
+        if got["feasible"] != base["feasible"]:
+            raise DriftError(
+                f"{cell}: feasibility drifted "
+                f"({base['feasible']} -> {got['feasible']})")
+        if got["signature"] != base["signature"]:
+            raise DriftError(
+                f"{cell}: mapping signature drifted "
+                f"({base['signature']} -> {got['signature']})")
+        if abs(got["modeled_cycles"] - base["modeled_cycles"]) > 0.5:
+            raise DriftError(
+                f"{cell}: modeled cycles drifted "
+                f"({base['modeled_cycles']} -> {got['modeled_cycles']})")
+
+
+def _format(record: dict) -> str:
+    return (
+        f"platform DSE bench ({record['cells']} cells, best of "
+        f"{record['reps']}):\n"
+        f"  grid cold {record['grid_cold_s'] * 1e3:8.3f} ms   "
+        f"warm {record['grid_warm_s'] * 1e3:8.3f} ms "
+        f"({record['cache_speedup']:.1f}x)   "
+        f"warm jobs=4 {record['grid_warm_jobs4_s'] * 1e3:8.3f} ms")
+
+
+def test_dse_grid_and_drift(report, benchmark):
+    """Drift gate + timing on the reduced grid (CI / standalone)."""
+    check_drift()
+    cache = TilingCache()
+    sweep_grid(platforms=FP_PLATFORMS, models=FP_MODELS,
+               budgets_kb=FP_BUDGETS_KB, objectives=FP_OBJECTIVES,
+               cache=cache)  # warm it
+    benchmark(lambda: sweep_grid(
+        platforms=FP_PLATFORMS, models=FP_MODELS, budgets_kb=FP_BUDGETS_KB,
+        objectives=FP_OBJECTIVES, cache=cache))
+    record = run_bench(reps=1, write=False)
+    report(_format(record))
+
+
+def main(argv=None) -> int:
+    global OUT
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=REPS,
+                        help="timing repetitions (best-of)")
+    parser.add_argument("--check", action="store_true",
+                        help="only verify the grid fingerprint has not "
+                             "drifted from the committed BENCH_dse.json")
+    parser.add_argument("--out", default=str(OUT))
+    args = parser.parse_args(argv)
+    OUT = pathlib.Path(args.out)
+    if args.check:
+        try:
+            check_drift(OUT)
+        except DriftError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(f"DSE grid fingerprint matches {OUT.name}")
+        return 0
+    record = run_bench(reps=args.reps)
+    print(_format(record))
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,20 +7,33 @@ operations supported by the dedicated hardware, (2) the heuristics to
 maximize the accelerator utilization and (3) the platform-specific
 instructions" (paper Sec. III-C).
 
-This example adds a fictitious 32x32-PE "BigNPU" to the platform,
-provides those three components, and deploys ResNet-8 onto it —
-without touching the compiler.
+This example provides those three components for a fictitious
+32x32-PE "BigNPU", registers a ``diana-bignpu`` platform through the
+plugin API (``repro.soc.register_platform``), and deploys ResNet-8
+onto it — without touching the compiler. Because registration makes
+the platform a first-class name, the same definition also works from
+the CLI::
+
+    REPRO_PLATFORMS=examples.custom_accelerator \
+        repro run resnet --platform diana-bignpu
+    REPRO_PLATFORMS=examples.custom_accelerator \
+        repro dse --platforms diana diana-bignpu --models resnet
 
 Run:  python examples/custom_accelerator.py
 """
 
+import math
+import os
+import tempfile
+
 import numpy as np
 
-from repro import DianaSoC, Executor, HTVM, compile_model, latency_ms
+from repro import Executor, HTVM, compile_model, latency_ms
+from repro.errors import ArtifactError
 from repro.frontend.modelzoo import resnet8
-from repro.dispatch import assign_targets
 from repro.runtime import random_inputs, run_reference
-from repro.soc import DEFAULT_PARAMS
+from repro.serve import load_artifact, pack_model
+from repro.soc import PlatformSpec, get_platform, register_platform
 from repro.soc.digital import DigitalAccelerator
 
 
@@ -37,7 +50,6 @@ class BigNpu(DigitalAccelerator):
 
     def compute_cycles(self, spec, c_t, k_t, oy_t, ox_t):
         # same mapping as the 16x16 core but with 32-wide rows/columns
-        import math
         if spec.kind == "conv2d":
             ix_t = min((ox_t - 1) * spec.strides[1] + spec.fx, spec.ix)
             return (k_t * oy_t * spec.fy * spec.fx
@@ -48,50 +60,65 @@ class BigNpu(DigitalAccelerator):
 
 def prefer_bignpu(spec, accepted):
     """Component (2), selection side: send everything it can take to
-    the NPU; the stock rule handles the rest."""
+    the NPU; fall back to whatever else accepted the layer."""
     if "soc.bignpu" in accepted:
         return "soc.bignpu"
     return accepted[0]
 
 
+# Registration is the porting step: one declarative spec. Importing
+# this module is enough to make "diana-bignpu" resolvable everywhere —
+# get_platform, repro --platform, repro dse, artifact loading.
+register_platform(PlatformSpec(
+    name="diana-bignpu",
+    accelerators={"soc.digital": DigitalAccelerator,
+                  "soc.bignpu": BigNpu},
+    prefer=prefer_bignpu,
+    model_precision="int8",
+    description="example plugin: DIANA digital core + fictitious "
+                "32x32-PE BigNPU (examples/custom_accelerator.py)",
+))
+
+
 def main():
     graph = resnet8(precision="int8")
+    feeds = random_inputs(graph, seed=0)
 
-    # stock DIANA
-    base_soc = DianaSoC(enable_analog=False)
+    # stock DIANA (digital column) as the baseline
+    base_soc = get_platform("diana", enable_analog=False)
     base = compile_model(graph, base_soc, HTVM)
-    base_res = Executor(base_soc).run(base, random_inputs(graph, seed=0))
+    base_res = Executor(base_soc).run(base, feeds)
 
-    # DIANA + BigNPU: register the accelerator on the platform object
-    npu_soc = DianaSoC(enable_analog=False)
-    npu_soc.accelerators["soc.bignpu"] = BigNpu(DEFAULT_PARAMS)
-
-    # dispatch is a pluggable policy: prefer the NPU wherever its rules
-    # accept the layer
-    from repro.patterns import default_specs, partition
-    from repro.transforms import fuse_cpu_ops
-    import repro.dispatch.selector as selector
-
-    pg = partition(graph, default_specs())
-    dispatched, decisions = assign_targets(pg, npu_soc,
-                                           prefer=prefer_bignpu)
-    print("dispatch with the BigNPU registered:")
-    for d in decisions[:5]:
+    # the registered plugin platform: its prefer hook steers dispatch,
+    # no compiler or selector code is touched
+    npu_soc = get_platform("diana-bignpu")
+    npu_model = compile_model(graph, npu_soc, HTVM)
+    print("dispatch on the diana-bignpu platform:")
+    for d in npu_model.dispatch_decisions[:5]:
         print(f"  {d.layer_name:<28} -> {d.target}")
     print("  ...")
 
-    # compile against the extended platform via a custom prefer rule
-    original = selector._prefer_by_bit_width
-    selector._prefer_by_bit_width = prefer_bignpu
-    try:
-        npu_model = compile_model(graph, npu_soc, HTVM)
-    finally:
-        selector._prefer_by_bit_width = original
+    npu_res = Executor(npu_soc).run(npu_model, feeds)
+    assert np.array_equal(npu_res.output, run_reference(npu_model.graph,
+                                                        feeds))
 
-    npu_res = Executor(npu_soc).run(npu_model, random_inputs(graph, seed=0))
-    assert np.array_equal(npu_res.output,
-                          run_reference(npu_model.graph,
-                                        random_inputs(graph, seed=0)))
+    # platform identity flows into fingerprints and artifacts
+    assert npu_model.platform == "diana-bignpu"
+    assert npu_model.fingerprint() != base.fingerprint()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "resnet8.bignpu.dna")
+        pack_model(graph, npu_soc, HTVM.with_overrides(
+            platform="diana-bignpu"), path)
+        art = load_artifact(path, expected_platform="diana-bignpu")
+        replay = Executor(art.soc).run(art.model, feeds)
+        assert np.array_equal(replay.output, npu_res.output)
+        try:  # a diana deployment must refuse the BigNPU artifact
+            load_artifact(path, expected_platform="diana")
+        except ArtifactError as exc:
+            assert "V-ART-012" in str(exc)
+            print("\ncross-platform load rejected as expected:")
+            print(f"  {exc}")
 
     print(f"\nResNet-8 on stock DIANA digital : "
           f"{latency_ms(base_res.total_cycles):.3f} ms")

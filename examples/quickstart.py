@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import DianaSoC, Executor, HTVM, compile_model, latency_ms
+from repro import Executor, HTVM, compile_model, get_platform, latency_ms
 from repro.frontend.modelzoo import resnet8
 from repro.runtime import random_inputs, run_reference
 
@@ -25,8 +25,9 @@ def main():
     print(f"model: {graph.name}, {graph.total_macs() / 1e6:.2f} MMACs, "
           f"{graph.weight_bytes() / 1024:.1f} kB weights")
 
-    # 2. compile for the DIANA SoC with the full HTVM flow
-    soc = DianaSoC()
+    # 2. compile for the DIANA SoC with the full HTVM flow (the
+    #    platform registry lists alternatives: `repro platforms`)
+    soc = get_platform("diana")
     model = compile_model(graph, soc, HTVM)
     print(model.summary())
     print("\ndispatch decisions:")

@@ -9,15 +9,18 @@ SoC it is evaluated on.
 
 Quickstart::
 
-    from repro import compile_model, DianaSoC, HTVM, Executor
+    from repro import compile_model, get_platform, HTVM, Executor
     from repro.frontend.modelzoo import resnet8
     from repro.runtime import random_inputs
 
     graph = resnet8(precision="int8")
-    soc = DianaSoC()
+    soc = get_platform("diana")
     model = compile_model(graph, soc, HTVM)
     result = Executor(soc).run(model, random_inputs(graph))
     print(model.summary(), result.total_cycles)
+
+Platforms beyond the stock DIANA register declaratively — see
+:mod:`repro.soc.registry` and docs/PLATFORMS.md.
 """
 
 from . import baselines, codegen, core, dory, eval, extensions, frontend
@@ -28,14 +31,17 @@ from .core import (
 )
 from .errors import (
     CodegenError, DispatchError, IRError, MemoryPlanError, OutOfMemoryError,
-    PatternError, ReproError, ShapeError, SimulationError, TilingError,
-    UnsupportedError,
+    PatternError, PlatformError, ReproError, ShapeError, SimulationError,
+    TilingError, UnsupportedError,
 )
 from .runtime import (
     BatchExecutionResult, ExecutionResult, Executor, random_inputs,
     random_inputs_batched, run_reference, run_reference_batched,
 )
-from .soc import DEFAULT_PARAMS, DianaParams, DianaSoC, latency_ms
+from .soc import (
+    DEFAULT_PARAMS, DianaParams, DianaSoC, Platform, PlatformSpec,
+    get_platform, latency_ms, platform_names, register_platform,
+)
 
 __version__ = "1.0.0"
 
@@ -58,11 +64,13 @@ __all__ = [
     "TVM_CPU", "TilingCache", "compile_model", "get_default_cache",
     "set_default_cache",
     "CodegenError", "DispatchError", "IRError", "MemoryPlanError",
-    "OutOfMemoryError", "PatternError", "ReproError", "ShapeError",
-    "SimulationError", "TilingError", "UnsupportedError",
+    "OutOfMemoryError", "PatternError", "PlatformError", "ReproError",
+    "ShapeError", "SimulationError", "TilingError", "UnsupportedError",
     "BatchExecutionResult", "ExecutionResult", "Executor",
     "random_inputs", "random_inputs_batched",
     "run_reference", "run_reference_batched",
-    "DEFAULT_PARAMS", "DianaParams", "DianaSoC", "latency_ms",
+    "DEFAULT_PARAMS", "DianaParams", "DianaSoC", "Platform",
+    "PlatformSpec", "get_platform", "latency_ms", "platform_names",
+    "register_platform",
     "__version__",
 ]

@@ -18,14 +18,14 @@ from ..dory.layer_spec import LayerSpec
 from ..dory.tiler import DoryTiler
 from ..dory.tiling_types import TilingSolution
 from ..runtime.cost import cost_layer
-from ..soc import DianaParams, DianaSoC
+from ..soc import DianaParams, get_platform
 
 
 def solve_naive(spec: LayerSpec, l1_budget: int,
                 params: Optional[DianaParams] = None,
                 target: str = "soc.digital") -> TilingSolution:
     """Tile with the memory-only objective."""
-    soc = DianaSoC(params=params)
+    soc = get_platform("diana", params=params)
     tiler = DoryTiler(target, soc.params, no_heuristics(),
                       l1_budget=l1_budget)
     return tiler.solve(spec)
@@ -49,7 +49,7 @@ def compare_heuristics(spec: LayerSpec, l1_budget: int,
                        params: Optional[DianaParams] = None
                        ) -> HeuristicComparison:
     """Naive-vs-full-heuristic latency for one layer at one budget."""
-    soc = DianaSoC(params=params)
+    soc = get_platform("diana", params=params)
     accel = soc.accelerator("soc.digital")
     naive = DoryTiler("soc.digital", soc.params, no_heuristics(),
                       l1_budget=l1_budget).solve(spec)

@@ -14,7 +14,7 @@ from ..core.compiler import compile_model
 from ..core.config import TVM_CPU
 from ..core.program import CompiledModel
 from ..ir import Graph
-from ..soc import DianaParams, DianaSoC
+from ..soc import DianaParams, Platform, get_platform
 
 
 def compile_tvm_cpu(graph: Graph, params: Optional[DianaParams] = None,
@@ -24,11 +24,17 @@ def compile_tvm_cpu(graph: Graph, params: Optional[DianaParams] = None,
     Raises :class:`~repro.errors.OutOfMemoryError` if the image plus the
     (reuse-free) activation arena exceed L2 — the paper's MobileNet OoM.
     """
-    soc = DianaSoC(params=params, enable_digital=False, enable_analog=False)
+    soc = cpu_only_soc(params=params)
     cfg = TVM_CPU if check_l2 else TVM_CPU.with_overrides(check_l2=False)
     return compile_model(graph, soc, cfg)
 
 
-def cpu_only_soc(params: Optional[DianaParams] = None) -> DianaSoC:
-    """A DIANA with both accelerators fused off (CPU-only view)."""
-    return DianaSoC(params=params, enable_digital=False, enable_analog=False)
+def cpu_only_soc(params: Optional[DianaParams] = None) -> Platform:
+    """A DIANA with both accelerators fused off (CPU-only view).
+
+    Keeps the ``diana`` platform identity (the baseline's historical
+    fingerprints must not move); the registered ``diana-cpu`` platform
+    is the DSE-facing variant with its own identity.
+    """
+    return get_platform("diana", params=params,
+                        enable_digital=False, enable_analog=False)

@@ -111,7 +111,7 @@ from .runtime import (
     EXEC_MODES, Executor, random_inputs, random_inputs_batched,
     run_reference, run_reference_batched,
 )
-from .soc import DianaSoC, latency_ms
+from .soc import get_platform, get_platform_spec, latency_ms, platform_names
 from .soc.energy import energy_by_target_uj, execution_energy_uj
 
 
@@ -138,7 +138,16 @@ def _setup(config: str, args=None):
         cfg = cfg.with_overrides(mapping_strategy=args.mapping)
     if args is not None and getattr(args, "depthfirst", None):
         cfg = cfg.with_overrides(depthfirst=args.depthfirst)
-    return precision, DianaSoC(**soc_kwargs), cfg
+    platform = (getattr(args, "platform", None)
+                if args is not None else None)
+    if platform and platform != "diana":
+        # non-default platform: its registered spec decides the
+        # accelerator set and the matching zoo precision, and the
+        # platform identity flows into the config fingerprint
+        spec = get_platform_spec(platform)
+        return (spec.model_precision, get_platform(platform),
+                cfg.with_overrides(platform=platform))
+    return precision, get_platform("diana", **soc_kwargs), cfg
 
 
 def _setup_cache(args):
@@ -176,7 +185,7 @@ def _rules_target_summary(graph) -> str:
     from .patterns import default_specs, partition
 
     partitioned = partition(graph, default_specs())
-    _, decisions = assign_targets(partitioned, DianaSoC())
+    _, decisions = assign_targets(partitioned, get_platform())
     counts: dict = {}
     for d in decisions:
         counts[d.target] = counts.get(d.target, 0) + 1
@@ -202,6 +211,28 @@ def cmd_models(args) -> int:
     print("model zoo (MLPerf Tiny v1.0):")
     print(format_columns(headers, rows))
     print(f"configurations: {', '.join(CONFIGS)}")
+    return 0
+
+
+def cmd_platforms(args) -> int:
+    """List every registered platform (built-ins + loaded plugins)."""
+    from .mapping import format_columns
+
+    rows = []
+    for name in platform_names():
+        spec = get_platform_spec(name)
+        rows.append([
+            name,
+            ",".join(spec.accelerators) or "(cpu only)",
+            spec.model_precision,
+            f"{spec.params.l1_bytes // 1024}/{spec.params.l2_bytes // 1024}",
+            spec.description,
+        ])
+    print(format_columns(
+        ["platform", "accelerators", "zoo precision", "L1/L2 kB",
+         "description"], rows))
+    print("plugins: import a module calling repro.soc.register_platform, "
+          "or set REPRO_PLATFORMS=module[,module...]")
     return 0
 
 
@@ -302,6 +333,52 @@ def cmd_map(args) -> int:
         prepare_graph(graph), soc, cfg,
         objective=make_objective(args.objective, args.weight))
     print(format_plan(plan))
+    _print_cache_stats()
+    return 0
+
+
+def cmd_dse(args) -> int:
+    from .eval.dse import (
+        artifact_record, diff_records, format_dse, sweep_grid,
+        validate_record,
+    )
+
+    points = sweep_grid(platforms=args.platforms, models=args.models,
+                        budgets_kb=args.budgets_kb,
+                        objectives=args.objectives,
+                        strategy=args.mapping or "dp", jobs=args.jobs)
+    print(format_dse(points))
+    record = artifact_record(points, strategy=args.mapping or "dp",
+                             jobs=args.jobs)
+
+    if args.check:
+        import json
+        try:
+            with open(args.out) as f:
+                committed = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read committed grid {args.out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = validate_record(committed) + diff_records(committed,
+                                                             record)
+        if problems:
+            print(f"\n{args.out} drifted from a fresh sweep:",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  - {p}", file=sys.stderr)
+            return 1
+        print(f"\n{args.out}: committed grid reproduces "
+              f"({len(record['grid'])} cells re-priced)")
+        _print_cache_stats()
+        return 0
+
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(record, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.out}")
     _print_cache_stats()
     return 0
 
@@ -437,7 +514,8 @@ def cmd_load(args) -> int:
     from .serve import load_artifact
 
     t0 = time.perf_counter()
-    art = load_artifact(args.artifact)
+    art = load_artifact(args.artifact,
+                        expected_platform=getattr(args, "platform", None))
     t1 = time.perf_counter()
     print(art.model.summary())
     print(f"loaded in {(t1 - t0) * 1e3:.1f} ms — no compilation "
@@ -934,10 +1012,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "'on' fuses every eligible chain "
                             "(see docs/DEPTHFIRST.md)")
 
+    def add_platform_arg(p, default=None):
+        p.add_argument("--platform", default=default,
+                       help="registered platform to compile for "
+                            "('repro platforms' lists them; plugins "
+                            "register via REPRO_PLATFORMS or "
+                            "repro.soc.register_platform). Off the "
+                            "default 'diana', the platform's spec picks "
+                            "the zoo precision and --config only "
+                            "supplies the compiler knobs")
+
     sub.add_parser("models", help="list the model zoo").set_defaults(
         fn=cmd_models)
+    sub.add_parser(
+        "platforms",
+        help="list registered platforms (built-ins + plugins)",
+    ).set_defaults(fn=cmd_platforms)
 
-    p = sub.add_parser("compile", help="compile a model for DIANA")
+    p = sub.add_parser("compile", help="compile a model for a platform")
     p.add_argument("model")
     p.add_argument("--config", choices=list(CONFIGS), default="mixed")
     p.add_argument("--out-dir", help="write generated C sources here")
@@ -945,6 +1037,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)
+    add_platform_arg(p)
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser(
@@ -983,7 +1076,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact path for --pareto (default: %(default)s)")
     add_cache_args(p)
     add_depthfirst_arg(p)
+    add_platform_arg(p)
     p.set_defaults(fn=cmd_map)
+
+    p = sub.add_parser(
+        "dse", help="platform x model x budget x objective DSE grid")
+    p.add_argument("--platforms", nargs="+", metavar="NAME",
+                   help="registered platforms to sweep (default: diana, "
+                        "diana-noanalog, diana-nodig; see `repro "
+                        "platforms`)")
+    p.add_argument("--models", nargs="+", choices=sorted(MLPERF_TINY),
+                   help="zoo models to sweep (default: all)")
+    p.add_argument("--budgets-kb", nargs="+", type=int, metavar="KB",
+                   help="L1 tiling budgets in kB (default: 64 256)")
+    p.add_argument("--objectives", nargs="+",
+                   choices=["latency", "energy"],
+                   help="mapping objectives to sweep (default: both)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="price grid cells on this many threads")
+    p.add_argument("--out", default="DSE_GRID.json",
+                   help="grid artifact path (default: %(default)s)")
+    p.add_argument("--check", action="store_true",
+                   help="re-price the grid and fail if --out drifted "
+                        "(the CI dse-smoke gate)")
+    add_mapping_arg(p, default="dp")
+    add_cache_args(p)
+    p.set_defaults(fn=cmd_dse)
 
     p = sub.add_parser(
         "sweep", help="sweep one platform parameter (recompile + simulate)")
@@ -1012,6 +1130,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_mode_arg(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)
+    add_platform_arg(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -1036,6 +1155,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)
+    add_platform_arg(p)
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
@@ -1054,6 +1174,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)
+    add_platform_arg(p)
     p.set_defaults(fn=cmd_pack)
 
     p = sub.add_parser(
@@ -1062,6 +1183,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="recompile from the artifact's provenance and "
                         "assert byte-identical outputs + equal cycles")
+    p.add_argument("--platform", default=None,
+                   help="reject the artifact unless it was packed for "
+                        "this registered platform (V-ART-012)")
     add_cache_args(p)
     p.set_defaults(fn=cmd_load)
 
@@ -1112,6 +1236,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_cache_args(p)
     add_mapping_arg(p)
     add_depthfirst_arg(p)
+    add_platform_arg(p)
     add_exec_mode_arg(p, default="fast")
     p.set_defaults(fn=cmd_serve)
 

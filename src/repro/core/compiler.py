@@ -30,7 +30,7 @@ from ..dory.tiler import DoryTiler
 from ..errors import CodegenError, OutOfMemoryError
 from ..ir import Composite, Graph
 from ..obs.trace import trace_span
-from ..soc.diana import DianaSoC
+from ..soc.platform import Platform
 from ..transforms import (
     PassManager, Pass, canonicalize, eliminate_dead_code, fold_constants,
     fuse_cpu_ops,
@@ -62,7 +62,7 @@ def _frontend(graph: Graph, config: CompilerConfig) -> Graph:
     return pm.run(graph, post_hook=post_hook)
 
 
-def compile_model(graph: Graph, soc: DianaSoC,
+def compile_model(graph: Graph, soc: Platform,
                   config: CompilerConfig = HTVM,
                   cache: Optional[TilingCache] = None) -> CompiledModel:
     """Compile ``graph`` for ``soc`` under ``config``.
@@ -87,7 +87,7 @@ def compile_model(graph: Graph, soc: DianaSoC,
         return _compile(graph, soc, config, cache)
 
 
-def _compile(graph: Graph, soc: DianaSoC, config: CompilerConfig,
+def _compile(graph: Graph, soc: Platform, config: CompilerConfig,
              cache: Optional[TilingCache]) -> CompiledModel:
     if cache is None and config.tiling_cache:
         cache = get_default_cache()
@@ -253,7 +253,7 @@ def _compile(graph: Graph, soc: DianaSoC, config: CompilerConfig,
         buffers=buffers, input_names=[v.name for v in graph.inputs],
         output_name=output_name, memory_plan=plan, size=size,
         c_sources=kernel_sources, dispatch_decisions=decisions, graph=graph,
-        depthfirst_chains=df_chains,
+        depthfirst_chains=df_chains, platform=getattr(soc, "name", "diana"),
     )
     if config.verify_passes:
         from ..verify import assert_valid, verify_model

@@ -46,6 +46,13 @@ class CompilerConfig:
             objective (0 = pure latency, 1 = pure energy).
         mapping_beam_width: beam width of the global search on
             branching graphs (linear chains are solved exactly).
+        platform: name of the registered platform this config compiles
+            for (see :mod:`repro.soc.registry`). Semantic: it selects
+            the accelerator set and calibration constants, so it flows
+            into the fingerprint — except for the stock ``"diana"``
+            default, which is omitted from the payload to keep every
+            historical fingerprint (serving keys, ``.dna`` stamps,
+            native cache entries) byte-identical.
         depthfirst: depth-first (patch-based, MCUNetV2-style) fused
             schedules for conv chains — ``"off"`` (default, the
             historical layer-by-layer flow), ``"auto"`` (fuse chains
@@ -76,6 +83,7 @@ class CompilerConfig:
     mapping_objective: str = "latency"
     mapping_weight: float = 0.5
     mapping_beam_width: int = 8
+    platform: str = "diana"
     depthfirst: str = "off"
     verify_passes: bool = False
 
@@ -93,6 +101,10 @@ class CompilerConfig:
         """
         fields = {k: v for k, v in sorted(asdict(self).items())
                   if k not in _NON_SEMANTIC_FIELDS}
+        # the stock platform predates the platform knob: omit it from
+        # the payload so historical diana fingerprints stay byte-exact
+        if fields.get("platform") == "diana":
+            del fields["platform"]
         payload = json.dumps(fields, sort_keys=True, default=repr)
         return hashlib.sha256(payload.encode()).hexdigest()
 

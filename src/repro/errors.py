@@ -70,6 +70,10 @@ class ArtifactError(ReproError):
     """A serving artifact is malformed, stale, or fails integrity checks."""
 
 
+class PlatformError(ReproError):
+    """A platform spec is invalid or a platform name is not registered."""
+
+
 class VerificationError(ReproError):
     """A static checker found an invariant violation (see repro.verify)."""
 

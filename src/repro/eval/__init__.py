@@ -1,8 +1,8 @@
 """Evaluation harness: Tables I-II and Figs. 4-5 of the paper."""
 
 from . import (
-    depthfirst, fig4, fig5, layer_report, mapping_dse, paper, sota, sweep,
-    timeline,
+    depthfirst, dse, fig4, fig5, layer_report, mapping_dse, paper, sota,
+    sweep, timeline,
 )
 from .depthfirst import (
     DepthFirstReport, depthfirst_report, format_depthfirst_reports,
@@ -16,8 +16,8 @@ from .harness import (
 from .tables import format_table
 
 __all__ = [
-    "depthfirst", "fig4", "fig5", "layer_report", "mapping_dse", "paper",
-    "sota", "sweep", "timeline",
+    "depthfirst", "dse", "fig4", "fig5", "layer_report", "mapping_dse",
+    "paper", "sota", "sweep", "timeline",
     "DepthFirstReport", "depthfirst_report", "format_depthfirst_reports",
     "run_depthfirst_reports",
     "CONFIGS", "DeploymentResult", "deploy", "deploy_artifact",

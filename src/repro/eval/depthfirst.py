@@ -23,7 +23,7 @@ from ..core.program import CompiledModel, DepthFirstChain
 from ..errors import OutOfMemoryError
 from ..frontend.modelzoo import MLPERF_TINY
 from ..runtime import Executor, random_inputs, run_reference
-from ..soc import DEFAULT_PARAMS, DianaParams, DianaSoC
+from ..soc import DEFAULT_PARAMS, DianaParams, get_platform
 from .harness import CONFIGS
 
 
@@ -64,7 +64,7 @@ def depthfirst_report(model: str, config: str = "digital",
         cfg = cfg.with_overrides(l1_budget=l1_budget)
     cfg = cfg.with_overrides(check_l2=False)
     graph = MLPERF_TINY[model](precision=precision, seed=seed)
-    soc = DianaSoC(params=params, **soc_kwargs)
+    soc = get_platform("diana", params=params, **soc_kwargs)
 
     base = compile_model(graph, soc, cfg.with_overrides(depthfirst="off"))
     fused = compile_model(graph, soc, cfg.with_overrides(depthfirst=mode))

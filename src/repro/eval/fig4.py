@@ -29,7 +29,7 @@ from ..frontend.modelzoo import fig4_layers
 from .. import numerics as K
 from ..runtime.cost import cost_layer
 from ..runtime.executor import execute_layer_fast, execute_layer_tiled
-from ..soc import DianaParams, DianaSoC
+from ..soc import DianaParams, get_platform
 from .tables import format_table
 
 STRATEGIES = {
@@ -107,7 +107,7 @@ def sweep(layers: Optional[Sequence[LayerSpec]] = None,
     layers = list(layers) if layers is not None else fig4_layers()
     budgets = list(budgets) if budgets is not None else DEFAULT_BUDGETS
     strategies = list(strategies) if strategies is not None else list(STRATEGIES)
-    soc = DianaSoC(params=params)
+    soc = get_platform("diana", params=params)
     accel = soc.accelerator("soc.digital")
     cache = get_default_cache()
 

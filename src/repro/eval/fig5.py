@@ -19,7 +19,7 @@ from ..frontend.modelzoo import (
     fig5_digital_conv_spatial, fig5_digital_dwconv, fig5_digital_fc_channel,
 )
 from ..runtime.cost import cost_layer
-from ..soc import DianaParams, DianaSoC
+from ..soc import DianaParams, get_platform
 
 #: the figure's series: (series name, target, layer list factory)
 SERIES = {
@@ -59,7 +59,7 @@ def characterize(series: Optional[Sequence[str]] = None,
                  params: Optional[DianaParams] = None) -> List[Fig5Point]:
     """Run the Fig. 5 characterization for the requested series."""
     series = list(series) if series is not None else list(SERIES)
-    soc = DianaSoC(params=params)
+    soc = get_platform("diana", params=params)
     points: List[Fig5Point] = []
     for name in series:
         target, factory = SERIES[name]

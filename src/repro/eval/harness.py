@@ -26,7 +26,7 @@ from ..core.program import CompiledModel
 from ..errors import OutOfMemoryError
 from ..frontend.modelzoo import MLPERF_TINY
 from ..runtime import ExecutionResult, Executor, random_inputs, run_reference
-from ..soc import DianaParams, DianaSoC, latency_ms
+from ..soc import DianaParams, get_platform, latency_ms
 from .tables import format_table, fmt_ms
 from . import paper
 
@@ -117,7 +117,7 @@ def deploy(model: str, config: str,
     if depthfirst is not None:
         cfg = cfg.with_overrides(depthfirst=depthfirst)
     graph = MLPERF_TINY[model](precision=precision, seed=seed)
-    soc = DianaSoC(params=params, **soc_kwargs)
+    soc = get_platform("diana", params=params, **soc_kwargs)
 
     result = DeploymentResult(model=model, config=config,
                               mapping=cfg.mapping_strategy)

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.cache import get_default_cache
 from ..frontend.modelzoo import MLPERF_TINY
 from ..mapping import analyze_mapping, make_objective, prepare_graph
-from ..soc import DianaSoC, latency_ms
+from ..soc import get_platform, latency_ms
 from .harness import CONFIGS
 from .tables import format_table
 
@@ -57,7 +57,7 @@ def sweep_model(model: str, config: str = "mixed",
     if model not in MLPERF_TINY:
         raise KeyError(f"unknown model {model!r}; have {sorted(MLPERF_TINY)}")
     precision, soc_kwargs, cfg = CONFIGS[config]
-    soc = DianaSoC(**soc_kwargs)
+    soc = get_platform("diana", **soc_kwargs)
     pgraph = prepare_graph(MLPERF_TINY[model](precision=precision))
     if cache is None:
         cache = get_default_cache()

@@ -216,15 +216,23 @@ def evaluate_assignment(sites: List[MappingSite], edges: List[TransferEdge],
 # ---------------------------------------------------------------------------
 
 
-def _rules_assignment(sites: List[MappingSite]) -> List[str]:
+def _rules_assignment(sites: List[MappingSite],
+                      soc=None) -> List[str]:
     """The seed weight-dtype policy, as a per-site target list.
 
     Delegates to :func:`~repro.mapping.selector.rules_target` — the
     same function :func:`~repro.mapping.selector.assign_targets` uses —
     so the baseline here (and the CI drift gate built on it) cannot
-    diverge from what ``mapping_strategy="rules"`` compiles.
+    diverge from what ``mapping_strategy="rules"`` compiles. A
+    registered platform's own ``prefer`` hook takes the same precedence
+    it has in ``assign_targets``.
     """
-    return [rules_target(site.spec, site.accepted_targets)
+    prefer = getattr(soc, "prefer", None) if soc is not None else None
+    if prefer is None:
+        return [rules_target(site.spec, site.accepted_targets)
+                for site in sites]
+    return [prefer(site.spec, site.accepted_targets)
+            if site.spec is not None and site.accepted_targets else "cpu"
             for site in sites]
 
 
@@ -481,7 +489,7 @@ def analyze_mapping(pgraph: Graph, soc, config, cache=None,
     with trace_span("mapping.enumerate_sites", category="compile"):
         sites = enumerate_sites(pgraph, soc, config, cache, energy)
     edges = build_edges(pgraph, sites)
-    baseline = _rules_assignment(sites)
+    baseline = _rules_assignment(sites, soc)
 
     with trace_span("mapping.search", category="compile",
                     strategy=strategy, sites=len(sites)):

@@ -76,13 +76,16 @@ def assign_targets(
         graph: a partitioned graph (composites present).
         soc: the platform model (capability rules).
         prefer: optional override of the multi-accelerator choice;
-            signature ``prefer(spec, accepted_names) -> name``.
+            signature ``prefer(spec, accepted_names) -> name``. When
+            not given, a registered platform's own ``prefer`` hook
+            (``PlatformSpec.prefer``, paper "component 2") applies;
+            platforms without one use DIANA's bit-width rule.
 
     Returns:
         (new_graph, decisions): the graph with composite targets set and
         the list of :class:`DispatchDecision` records.
     """
-    prefer = prefer or _prefer_by_bit_width
+    prefer = prefer or getattr(soc, "prefer", None) or _prefer_by_bit_width
     decisions: List[DispatchDecision] = []
     target_of: Dict[int, str] = {}
 

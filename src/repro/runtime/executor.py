@@ -58,7 +58,7 @@ from .cost import accumulate_accel_cost, accumulate_depthfirst_cost
 from .reference import compile_plan
 
 if TYPE_CHECKING:  # avoid a circular import at runtime
-    from ..soc.diana import DianaSoC
+    from ..soc.platform import Platform
 
 #: the functional execution modes of accelerator layers.
 EXEC_MODES = ("tiled", "fast", "depthfirst", "native")
@@ -267,7 +267,7 @@ def execute_chain_depth_first(accels, specs: List[LayerSpec], x: np.ndarray,
 
 
 class Executor:
-    """Runs compiled models on a :class:`~repro.soc.diana.DianaSoC`.
+    """Runs compiled models on a :class:`~repro.soc.platform.Platform`.
 
     ``exec_mode`` selects how accelerator layers are computed:
     ``"tiled"`` (default) executes every DORY tile and is the
@@ -291,7 +291,7 @@ class Executor:
     serving layer passes the artifact's own directory).
     """
 
-    def __init__(self, soc: "DianaSoC", exec_mode: str = "tiled",
+    def __init__(self, soc: "Platform", exec_mode: str = "tiled",
                  native_cache_dir: Optional[str] = None):
         if exec_mode not in EXEC_MODES:
             raise SimulationError(

@@ -48,12 +48,12 @@ from ..core.program import (
 )
 from ..dory.memory_plan import MemoryPlan, TensorLife
 from ..dory.tiling_types import TileConfig, TilingSolution
-from ..errors import ArtifactError
+from ..errors import ArtifactError, PlatformError
 from ..ir import TensorType, graph_from_dict, graph_to_dict
 from ..ir.dtypes import dtype as _dtype
 from ..mapping import layer_spec_of
 from ..mapping.rules import DispatchDecision
-from ..soc import DianaParams, DianaSoC
+from ..soc import DianaParams, Platform, get_platform
 
 #: artifact container format version; bump on any layout change.
 ARTIFACT_VERSION = 1
@@ -74,7 +74,7 @@ class LoadedArtifact:
     """Everything :func:`load_artifact` reconstructs from one file."""
 
     model: CompiledModel
-    soc: DianaSoC
+    soc: Platform
     config: CompilerConfig
     config_fingerprint: str
     fingerprint: str
@@ -142,7 +142,7 @@ def _decision_to_dict(d: DispatchDecision) -> Dict:
     }
 
 
-def artifact_to_dict(compiled: CompiledModel, soc: DianaSoC,
+def artifact_to_dict(compiled: CompiledModel, soc: Platform,
                      config: CompilerConfig,
                      validation: Optional[Dict] = None,
                      meta: Optional[Dict] = None) -> Dict:
@@ -159,10 +159,18 @@ def artifact_to_dict(compiled: CompiledModel, soc: DianaSoC,
         "config": dataclasses.asdict(config),
         "config_fingerprint": config.fingerprint(),
         "fingerprint": compiled.fingerprint(),
+        # "soc" keeps its historical diana-shaped layout (the
+        # deployment fingerprint hashes it verbatim); "platform" names
+        # the registered platform so loaders off the stock SoC rebuild
+        # the exact accelerator set through the registry.
         "soc": {
             "enable_digital": "soc.digital" in soc.accelerators,
             "enable_analog": "soc.analog" in soc.accelerators,
             "params": dataclasses.asdict(soc.params),
+        },
+        "platform": {
+            "name": getattr(soc, "name", "diana"),
+            "accelerators": list(soc.accelerators),
         },
         "graph": graph_to_dict(compiled.graph),
         "steps": [_step_to_dict(s, i) for i, s in enumerate(compiled.steps)],
@@ -219,8 +227,16 @@ def _check_spec(name: str, spec, stored: Dict):
             "incompatible version")
 
 
-def artifact_from_dict(obj: Dict) -> LoadedArtifact:
-    """Rebuild a deployment from :func:`artifact_to_dict` output."""
+def artifact_from_dict(obj: Dict,
+                       expected_platform: Optional[str] = None
+                       ) -> LoadedArtifact:
+    """Rebuild a deployment from :func:`artifact_to_dict` output.
+
+    ``expected_platform`` pins the artifact to one registered platform:
+    a file packed for any other platform is rejected with a
+    ``V-ART-012`` diagnostic instead of silently serving a deployment
+    whose tilings and kernels were solved for different hardware.
+    """
     if obj.get("format") != ARTIFACT_MAGIC:
         raise ArtifactError("not a repro artifact (bad magic)")
     if obj.get("version") != ARTIFACT_VERSION:
@@ -230,11 +246,34 @@ def artifact_from_dict(obj: Dict) -> LoadedArtifact:
 
     config = CompilerConfig(**obj["config"])
     soc_rec = obj["soc"]
-    soc = DianaSoC(
-        params=DianaParams(**soc_rec["params"]),
-        enable_digital=soc_rec["enable_digital"],
-        enable_analog=soc_rec["enable_analog"],
-    )
+    # pre-registry artifacts carry no "platform" record: they are by
+    # construction stock-diana files
+    plat_rec = obj.get("platform") or {"name": "diana"}
+    plat_name = plat_rec.get("name", "diana")
+    if expected_platform is not None and plat_name != expected_platform:
+        raise ArtifactError(
+            f"[V-ART-012] artifact {obj.get('model')!r} was packed for "
+            f"platform {plat_name!r} but this deployment expects "
+            f"{expected_platform!r}; its tile configurations and memory "
+            "plan are not valid here — recompile with "
+            f"--platform {expected_platform}")
+    params = DianaParams(**soc_rec["params"])
+    if plat_name == "diana":
+        soc: Platform = get_platform(
+            "diana", params=params,
+            enable_digital=soc_rec["enable_digital"],
+            enable_analog=soc_rec["enable_analog"],
+        )
+    else:
+        try:
+            soc = get_platform(plat_name, params=params,
+                               accelerators=plat_rec.get("accelerators"))
+        except PlatformError as exc:
+            raise ArtifactError(
+                f"[V-ART-012] artifact {obj.get('model')!r} targets "
+                f"platform {plat_name!r}, which is not registered in "
+                f"this process ({exc}); import its plugin module or set "
+                "REPRO_PLATFORMS before loading") from exc
     graph = graph_from_dict(obj["graph"])
     composites = graph.composites()
 
@@ -313,7 +352,7 @@ def artifact_from_dict(obj: Dict) -> LoadedArtifact:
         size=SizeBreakdown(**obj["size"]),
         c_sources=dict(obj.get("c_sources", {})),
         dispatch_decisions=decisions, graph=graph,
-        depthfirst_chains=df_chains,
+        depthfirst_chains=df_chains, platform=plat_name,
     )
 
     fingerprint = model.fingerprint()
@@ -323,9 +362,14 @@ def artifact_from_dict(obj: Dict) -> LoadedArtifact:
             f"(stored {obj['fingerprint'][:12]}, "
             f"reconstructed {fingerprint[:12]}) — file is corrupt")
 
-    deployment_fp = hashlib.sha256(
-        (obj["config_fingerprint"]
-         + json.dumps(soc_rec, sort_keys=True)).encode()).hexdigest()
+    # the diana payload predates the platform record and must keep
+    # hashing to the historical serving keys; other platforms fold
+    # their identity in so two platforms never alias one deployment
+    fp_payload = obj["config_fingerprint"] + json.dumps(soc_rec,
+                                                        sort_keys=True)
+    if plat_name != "diana":
+        fp_payload += json.dumps(plat_rec, sort_keys=True)
+    deployment_fp = hashlib.sha256(fp_payload.encode()).hexdigest()
     return LoadedArtifact(
         model=model, soc=soc, config=config,
         config_fingerprint=obj["config_fingerprint"],
@@ -336,7 +380,7 @@ def artifact_from_dict(obj: Dict) -> LoadedArtifact:
     )
 
 
-def save_artifact(path: str, compiled: CompiledModel, soc: DianaSoC,
+def save_artifact(path: str, compiled: CompiledModel, soc: Platform,
                   config: CompilerConfig,
                   validation: Optional[Dict] = None,
                   meta: Optional[Dict] = None) -> str:
@@ -356,12 +400,15 @@ def save_artifact(path: str, compiled: CompiledModel, soc: DianaSoC,
     return record["fingerprint"]
 
 
-def load_artifact(path: str, verify: bool = False) -> LoadedArtifact:
+def load_artifact(path: str, verify: bool = False,
+                  expected_platform: Optional[str] = None) -> LoadedArtifact:
     """Read a ``.dna`` file back into an executable deployment.
 
     Skips compilation entirely: no pattern matching, mapping search,
     DORY tiling or memory planning runs. Raises
-    :class:`~repro.errors.ArtifactError` on any integrity failure.
+    :class:`~repro.errors.ArtifactError` on any integrity failure —
+    including, when ``expected_platform`` is given, a ``V-ART-012``
+    rejection of files packed for a different registered platform.
 
     With ``verify=True`` the static checkers additionally gate the
     load: the raw container is schema-checked before reconstruction
@@ -375,7 +422,7 @@ def load_artifact(path: str, verify: bool = False) -> LoadedArtifact:
     except (OSError, ValueError, EOFError, zlib.error) as exc:
         raise ArtifactError(f"cannot read artifact {path!r}: {exc}") from exc
     if not verify:
-        return artifact_from_dict(obj)
+        return artifact_from_dict(obj, expected_platform=expected_platform)
 
     from ..verify import check_artifact_dict, verify_model
 
@@ -385,7 +432,7 @@ def load_artifact(path: str, verify: bool = False) -> LoadedArtifact:
         raise ArtifactError(
             f"artifact {path!r} failed static checks:\n"
             + "\n".join(d.render() for d in shallow))
-    art = artifact_from_dict(obj)
+    art = artifact_from_dict(obj, expected_platform=expected_platform)
     result = verify_model(art.model, soc=art.soc, config=art.config)
     if not result.ok:
         raise ArtifactError(
@@ -394,7 +441,7 @@ def load_artifact(path: str, verify: bool = False) -> LoadedArtifact:
     return art
 
 
-def pack_model(graph, soc: DianaSoC, config: CompilerConfig, path: str,
+def pack_model(graph, soc: Platform, config: CompilerConfig, path: str,
                validate_runs: int = 1,
                meta: Optional[Dict] = None) -> LoadedArtifact:
     """Compile ``graph`` and write the artifact in one step.

@@ -1,4 +1,10 @@
-"""Simulated DIANA SoC: CPU, digital and analog accelerators, memories."""
+"""Simulated heterogeneous platforms: CPU, accelerators, memories.
+
+The stock platform is the DIANA SoC of the paper; additional platforms
+register declaratively through :mod:`repro.soc.registry` and are
+constructed via :func:`get_platform` — the single construction path
+used by the compiler, runtime, serving, and eval layers.
+"""
 
 from .params import DEFAULT_PARAMS, DianaParams, latency_ms
 from .memory import Allocation, MemoryRegion
@@ -7,7 +13,12 @@ from .perf import KernelRecord, PerfCounters
 from .cpu import CpuModel
 from .digital import DigitalAccelerator
 from .analog import AnalogAccelerator
+from .platform import Platform
 from .diana import DianaSoC
+from .registry import (
+    DEFAULT_PLATFORM, PlatformSpec, get_platform, get_platform_spec,
+    platform_names, register_platform, unregister_platform, validate_spec,
+)
 from .energy import (
     DEFAULT_ENERGY, EnergyParams, energy_by_target_uj, execution_energy_uj,
     kernel_energy_pj,
@@ -18,7 +29,11 @@ __all__ = [
     "Allocation", "MemoryRegion",
     "contiguous_chunks", "tile_transfer_cycles", "transfer_cycles",
     "KernelRecord", "PerfCounters",
-    "CpuModel", "DigitalAccelerator", "AnalogAccelerator", "DianaSoC",
+    "CpuModel", "DigitalAccelerator", "AnalogAccelerator",
+    "Platform", "DianaSoC",
+    "DEFAULT_PLATFORM", "PlatformSpec", "get_platform", "get_platform_spec",
+    "platform_names", "register_platform", "unregister_platform",
+    "validate_spec",
     "DEFAULT_ENERGY", "EnergyParams", "energy_by_target_uj",
     "execution_energy_uj", "kernel_energy_pj",
 ]

@@ -1,63 +1,42 @@
 """The assembled DIANA SoC: CPU + two accelerators + memory system.
 
-:class:`DianaSoC` is the platform object handed to the compiler (for
-capability queries and cost-aware tiling) and to the runtime executor
-(for functional simulation with cycle accounting).
+:class:`DianaSoC` is the stock platform of the paper (Fig. 3), kept as
+a thin :class:`~repro.soc.platform.Platform` subclass for backwards
+compatibility. New code obtains platforms through the registry —
+``get_platform("diana")`` — which is the single construction path for
+every compiler/runtime entry point (see :mod:`repro.soc.registry`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
-from ..errors import DispatchError
 from .analog import AnalogAccelerator
-from .cpu import CpuModel
 from .digital import DigitalAccelerator
-from .memory import MemoryRegion
-from .params import DEFAULT_PARAMS, DianaParams
+from .params import DianaParams
+from .platform import Platform
 
 
-class DianaSoC:
-    """The heterogeneous platform model (paper Fig. 3).
+class DianaSoC(Platform):
+    """The heterogeneous DIANA platform model (paper Fig. 3).
 
-    Attributes:
-        params: all architecture/calibration constants.
-        cpu: RISC-V host model.
-        accelerators: name -> accelerator model; DIANA has
-            ``soc.digital`` and ``soc.analog``, but the dict is open so
-            new platforms can register other accelerators (the paper:
-            "HTVM is general enough to support a new off-the-shelf
-            heterogeneous platform").
+    ``enable_digital``/``enable_analog`` gate the two stock
+    accelerators — the Table I single-accelerator columns fuse one of
+    them off. The accelerator dict stays open so tests can still graft
+    extra cores onto an instance, but registered
+    :class:`~repro.soc.registry.PlatformSpec` variants are the
+    supported way to describe new platforms.
     """
 
     def __init__(self, params: Optional[DianaParams] = None,
                  enable_digital: bool = True, enable_analog: bool = True):
-        self.params = params or DEFAULT_PARAMS
-        self.cpu = CpuModel(self.params)
-        self.accelerators: Dict[str, object] = {}
+        super().__init__(params=params, name="diana")
         if enable_digital:
             dig = DigitalAccelerator(self.params)
             self.accelerators[dig.name] = dig
         if enable_analog:
             ana = AnalogAccelerator(self.params)
             self.accelerators[ana.name] = ana
-
-    def accelerator(self, name: str):
-        try:
-            return self.accelerators[name]
-        except KeyError:
-            raise DispatchError(
-                f"platform has no accelerator {name!r}; "
-                f"available: {sorted(self.accelerators)}"
-            ) from None
-
-    def fresh_l2(self) -> MemoryRegion:
-        """A new empty L2 region (shared main memory)."""
-        return MemoryRegion("L2", self.params.l2_bytes)
-
-    def fresh_l1(self) -> MemoryRegion:
-        """A new empty L1 region (shared accelerator activation memory)."""
-        return MemoryRegion("L1", self.params.l1_bytes)
 
     def __repr__(self):
         return f"DianaSoC(accelerators={sorted(self.accelerators)})"

@@ -209,6 +209,43 @@ def _check_sections(obj: Dict[str, Any],
                 f"{target!r}, not among its candidates {candidates}", loc))
 
 
+def _check_platform(obj: Dict[str, Any],
+                    diags: List[Diagnostic]) -> None:
+    """Platform provenance (V-ART-012): the platform record must be
+    well-formed, name a platform registered in this process, and agree
+    with the stored config's ``platform`` knob. Pre-registry artifacts
+    carry no record and are implicitly stock-diana files.
+    """
+    from ..soc.registry import get_platform_spec
+    from ..errors import PlatformError
+
+    rec = obj.get("platform")
+    if rec is None:
+        return
+    if not isinstance(rec, dict) or not isinstance(rec.get("name"), str):
+        diags.append(error(
+            "V-ART-012", _STAGE,
+            "platform record must be an object with a string 'name'",
+            "platform"))
+        return
+    name = rec["name"]
+    try:
+        get_platform_spec(name)
+    except PlatformError as exc:
+        diags.append(error(
+            "V-ART-012", _STAGE,
+            f"artifact targets platform {name!r}, which is not "
+            f"registered in this process ({exc})", "platform"))
+        return
+    cfg_platform = obj.get("config", {}).get("platform", "diana")
+    if cfg_platform != name:
+        diags.append(error(
+            "V-ART-012", _STAGE,
+            f"platform record names {name!r} but the stored config was "
+            f"built for {cfg_platform!r} — provenance is inconsistent",
+            "platform"))
+
+
 def check_artifact_dict(obj: Dict[str, Any],
                         deep: bool = True) -> List[Diagnostic]:
     """Run every artifact invariant check on a raw ``.dna`` dict.
@@ -221,6 +258,7 @@ def check_artifact_dict(obj: Dict[str, Any],
     if not _check_schema(obj, diags):
         return diags
     _check_config_fingerprint(obj, diags)
+    _check_platform(obj, diags)
     _check_sections(obj, diags)
     if not deep or diags:
         return diags

@@ -75,6 +75,7 @@ CODES: Dict[str, str] = {
     "V-ART-006": "chain/mapping section inconsistent with the program",
     "V-ART-010": "native library sidecar build key mismatches the artifact",
     "V-ART-011": "native library sidecar exists but cannot be loaded",
+    "V-ART-012": "artifact platform unregistered or mismatches deployment",
     # runner ---------------------------------------------------------------
     "V-RUN-001": "grid cell skipped (expected out-of-memory deployment)",
 }

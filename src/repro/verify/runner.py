@@ -93,13 +93,13 @@ def verify_grid(models: Optional[List[str]] = None,
     from ..eval.harness import CONFIGS
     from ..frontend.modelzoo import MLPERF_TINY
     from ..serve.artifact import save_artifact
-    from ..soc import DianaSoC
+    from ..soc import get_platform
 
     results: List[CheckResult] = []
     for model in (models or sorted(MLPERF_TINY)):
         for config_name in (configs or list(CONFIGS)):
             precision, soc_kwargs, config = CONFIGS[config_name]
-            soc = DianaSoC(**soc_kwargs)
+            soc = get_platform("diana", **soc_kwargs)
             graph = MLPERF_TINY[model](precision=precision)
             label = f"{model}/{config_name}"
             try:

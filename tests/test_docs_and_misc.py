@@ -14,7 +14,8 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 class TestDocs:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/COSTMODEL.md",
-        "docs/SERVING.md", "docs/DEPTHFIRST.md", "docs/CHECKS.md"])
+        "docs/SERVING.md", "docs/DEPTHFIRST.md", "docs/CHECKS.md",
+        "docs/PLATFORMS.md"])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name
         assert path.exists(), name
